@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every ``test_bench_*`` module regenerates one table or figure of the
+paper (printing the reproduced rows/series) and times a representative
+kernel with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-cycles",
+        action="store",
+        type=int,
+        default=10_000,
+        help="simulation length for table/figure reproductions",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_cycles(request):
+    return request.config.getoption("--repro-cycles")

@@ -1,0 +1,60 @@
+"""Ablation: buffering the S->W control channel.
+
+The paper's second configuration removes the C buffer and loses 14% of
+throughput: "long operations in the pipeline prevent S from producing
+new values for channel S->W ... the buffer C mitigates this".  This
+sweep varies the *depth* of the control buffer (0 = the paper's
+no-buffer row, 1 = the paper's active row, then deeper), demonstrating
+the correct-by-construction re-pipelining elasticity enables: adding
+buffers never breaks the system, and returns diminish quickly.
+"""
+
+import pytest
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.synthesis.elaborate import to_behavioral
+from repro.synthesis.spec import SystemSpec
+
+
+def with_control_depth(depth: int, seed=3) -> SystemSpec:
+    """The active configuration with `depth` EBs on the S->W channel."""
+    config = Config.NO_BUFFER if depth == 0 else Config.ACTIVE
+    spec = build_fig9_spec(config, seed=seed)
+    for extra in range(1, depth):
+        name = f"EB_C{extra}"
+        spec.add_register(name)
+        # splice: EB_C -> ... -> W input 0
+        tail = spec.connection("C->W")
+        tail.dst, old_dst = (("register", name, "in"), tail.dst)
+        spec.connect(spec.register_out(name), old_dst,
+                     name=f"C{extra}->W", data_bits=2)
+    spec.validate()
+    return spec
+
+
+def throughput(depth, cycles=4000, seed=3):
+    net = to_behavioral(with_control_depth(depth, seed=seed), seed=seed)
+    net.run(cycles)
+    return net.throughput("Din->S")
+
+
+def test_reproduce_buffer_sweep():
+    print("\n=== ablation: throughput vs S->W control buffer depth ===")
+    print(f"{'depth':>5} {'Th':>6}")
+    results = {}
+    for depth in (0, 1, 2, 3):
+        results[depth] = throughput(depth)
+        print(f"{depth:5d} {results[depth]:6.3f}")
+    # the paper's observation: no buffer hurts
+    assert results[1] > results[0] * 1.05
+    # re-pipelining is always *functionally* legal (the runs above are
+    # protocol-monitored); performance-wise the C channel sits on the
+    # token ring, so past the knee extra latency slowly costs
+    # throughput again -- the marked-graph cycle-ratio bound in action.
+    assert results[2] >= results[1] - 0.05
+    assert results[3] >= results[1] - 0.10
+
+
+def test_bench_depth_two(benchmark):
+    result = benchmark(throughput, 2, 1500)
+    assert result > 0.3

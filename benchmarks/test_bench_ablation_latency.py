@@ -1,0 +1,56 @@
+"""Ablation: throughput vs. the slow-path latency distribution.
+
+The paper's M1 takes 2 cycles w.p. 0.8 and 10 w.p. 0.2.  This sweep
+varies the slow-case latency and its probability: with active
+anti-tokens, unselected M operations are preempted, so the system is
+nearly insensitive to the tail; the lazy baseline degrades with the
+*mean* latency.
+"""
+
+import pytest
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.core.performance import distribution_latency
+from repro.synthesis.elaborate import to_behavioral
+
+
+def throughput(config, slow_latency, p_slow, cycles=4000, seed=3):
+    spec = build_fig9_spec(config, seed=seed)
+    spec.blocks["M1"].latency = distribution_latency(
+        {2: 1 - p_slow, slow_latency: p_slow}
+    )
+    net = to_behavioral(spec, seed=seed)
+    net.run(cycles)
+    return net.throughput("Din->S")
+
+
+def test_reproduce_latency_sweep():
+    print("\n=== ablation: throughput vs M1 slow-case latency ===")
+    print(f"{'slow lat':>8} {'p_slow':>6} {'mean':>5} {'active':>7} {'lazy':>6}")
+    actives, lazies = [], []
+    for slow, p in [(4, 0.2), (10, 0.2), (20, 0.2), (40, 0.2)]:
+        mean = 2 * (1 - p) + slow * p
+        a = throughput(Config.ACTIVE, slow, p)
+        l = throughput(Config.LAZY, slow, p)
+        actives.append(a)
+        lazies.append(l)
+        print(f"{slow:8d} {p:6.1f} {mean:5.1f} {a:7.3f} {l:6.3f}")
+    # lazy degrades strongly with the tail; active only mildly
+    assert lazies[0] > 2.0 * lazies[-1]
+    assert actives[-1] > 0.65 * actives[0]
+    assert actives[-1] > 2.0 * lazies[-1]
+
+
+def test_reproduce_probability_of_slow_case():
+    print("\n=== ablation: throughput vs P(slow M1) at latency 10 ===")
+    print(f"{'p_slow':>6} {'active':>7} {'lazy':>6}")
+    for p in (0.0, 0.2, 0.5, 1.0):
+        a = throughput(Config.ACTIVE, 10, p)
+        l = throughput(Config.LAZY, 10, p)
+        print(f"{p:6.1f} {a:7.3f} {l:6.3f}")
+        assert a >= l - 0.02
+
+
+def test_bench_latency_point(benchmark):
+    result = benchmark(throughput, Config.ACTIVE, 10, 0.2, 1500)
+    assert result > 0.3

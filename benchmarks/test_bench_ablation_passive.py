@@ -1,0 +1,54 @@
+"""Ablation: passive-interface placement over every dual channel.
+
+The paper evaluates two placements (F3->W and M2->W).  This sweep
+places the Fig. 7(a) passive interface on each anti-token-carrying
+channel in turn and reports throughput and control area: the
+throughput/area Pareto the designer navigates when deciding how far
+anti-tokens should counterflow.
+"""
+
+import pytest
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.synthesis.elaborate import control_layer_area, to_behavioral
+
+#: channels on the anti-token paths of the active configuration
+CANDIDATES = ["I->W", "F3->W", "F2->F3", "M->W", "M2->W", "S->M1"]
+
+
+def run_with_passive(channel, cycles=4000, seed=4):
+    spec = build_fig9_spec(Config.ACTIVE, seed=seed)
+    if channel is not None:
+        spec.connection(channel).passive = True
+    net = to_behavioral(spec, seed=seed)
+    net.run(cycles)
+    return net.throughput("Din->S"), control_layer_area(spec)
+
+
+def test_reproduce_passive_placement_sweep():
+    print("\n=== ablation: passive anti-token interface placement ===")
+    print(f"{'channel':>10} {'Th':>6} {'lit':>5} {'lat':>4} {'ff':>3}")
+    base_th, base_area = run_with_passive(None)
+    print(f"{'(none)':>10} {base_th:6.3f} {base_area.literals:5d} "
+          f"{base_area.latches:4d} {base_area.flops:3d}")
+    results = {}
+    for ch in CANDIDATES:
+        th, area = run_with_passive(ch)
+        results[ch] = (th, area)
+        print(f"{ch:>10} {th:6.3f} {area.literals:5d} "
+              f"{area.latches:4d} {area.flops:3d}")
+    # every placement saves area relative to full counterflow
+    for ch, (th, area) in results.items():
+        assert area.literals <= base_area.literals
+        assert th <= base_th + 0.02
+    # the paper's qualitative claim: cutting the M path hurts more than
+    # cutting the F path (slow results benefit most from preemption)
+    assert results["F3->W"][0] > results["M2->W"][0]
+
+
+def test_bench_passive_point(benchmark):
+    def run():
+        return run_with_passive("F3->W", cycles=1200)
+
+    th, area = benchmark(run)
+    assert th > 0.3

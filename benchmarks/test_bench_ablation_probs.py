@@ -1,0 +1,54 @@
+"""Ablation: throughput vs. opcode selection probabilities.
+
+The paper fixes the I/F/M selection probabilities at 0.6/0.3/0.1.  This
+sweep shifts probability mass from the fast unit (I, latency 1) to the
+slow variable-latency unit (M) and reports the throughput of the active
+and lazy configurations: early evaluation pays the most when slow
+results are rarely selected, and the two converge as M dominates.
+"""
+
+import pytest
+
+from repro.casestudy.fig9 import Config, OPCODE_PROBABILITIES, build_fig9_spec
+from repro.synthesis.elaborate import to_behavioral
+
+SWEEP = [
+    {"I": 0.9, "F": 0.08, "M": 0.02},
+    {"I": 0.6, "F": 0.3, "M": 0.1},     # the paper's point
+    {"I": 0.4, "F": 0.3, "M": 0.3},
+    {"I": 0.2, "F": 0.2, "M": 0.6},
+    {"I": 0.05, "F": 0.05, "M": 0.9},
+]
+
+
+def throughput(config, probs, cycles=4000, seed=5):
+    saved = dict(OPCODE_PROBABILITIES)
+    OPCODE_PROBABILITIES.update(probs)
+    try:
+        net = to_behavioral(build_fig9_spec(config, seed=seed), seed=seed)
+        net.run(cycles)
+        return net.throughput("Din->S")
+    finally:
+        OPCODE_PROBABILITIES.update(saved)
+
+
+def test_reproduce_probability_sweep():
+    print("\n=== ablation: throughput vs selection probabilities ===")
+    print(f"{'P(I)':>5} {'P(F)':>5} {'P(M)':>5} {'active':>7} {'lazy':>6} {'gain':>5}")
+    gains = []
+    for probs in SWEEP:
+        active = throughput(Config.ACTIVE, probs)
+        lazy = throughput(Config.LAZY, probs)
+        gain = active / lazy
+        gains.append(gain)
+        print(f"{probs['I']:5.2f} {probs['F']:5.2f} {probs['M']:5.2f} "
+              f"{active:7.3f} {lazy:6.3f} {gain:5.2f}x")
+    # early evaluation monotonically loses value as M dominates
+    assert gains[0] > gains[-1]
+    assert gains[0] > 1.5
+    assert gains[-1] < 1.2
+
+
+def test_bench_one_sweep_point(benchmark):
+    result = benchmark(throughput, Config.ACTIVE, SWEEP[1], 1500)
+    assert result > 0.3

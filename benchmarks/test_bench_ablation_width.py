@@ -1,0 +1,62 @@
+"""Ablation: control-layer overhead vs. datapath width.
+
+The paper closes Table 1 by noting "the area overhead of the control
+layer is small for wide (e.g. 32 or 64-bit) datapaths".  The control
+layer's size is *independent* of the width; the datapath scales
+linearly (one master/slave latch pair per bit per register, plus the
+functional logic).  This bench computes the control/datapath area ratio
+for widths 1..64 using the same literal/latch accounting as Table 1.
+"""
+
+import pytest
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.synthesis.elaborate import control_layer_area
+
+#: datapath cost model per bit: each register needs 2 transparent
+#: latches; each functional unit input contributes ~4 literals of logic
+#: (a conservative, paper-era factored-form estimate).
+LATCH_LIT_EQUIV = 2  # one latch counted as ~2 literals of area
+DATAPATH_LITERALS_PER_BIT = 12  # arithmetic logic (an adder bit ~10 lit)
+
+
+def datapath_cost(spec, width):
+    registers = len(spec.registers)
+    unit_inputs = sum(b.n_inputs for b in spec.blocks.values())
+    latches = 2 * registers * width
+    literals = DATAPATH_LITERALS_PER_BIT * unit_inputs * width
+    return literals + LATCH_LIT_EQUIV * latches
+
+
+def control_cost(area):
+    return area.literals + LATCH_LIT_EQUIV * (area.latches + 2 * area.flops)
+
+
+def test_reproduce_width_sweep():
+    print("\n=== ablation: control overhead vs datapath width ===")
+    print(f"{'width':>5} {'control':>8} {'datapath':>9} {'overhead':>9}")
+    spec = build_fig9_spec(Config.ACTIVE)
+    ctrl = control_cost(control_layer_area(spec))
+    overheads = {}
+    for width in (1, 4, 8, 16, 32, 64):
+        dp = datapath_cost(spec, width)
+        overheads[width] = ctrl / (ctrl + dp)
+        print(f"{width:5d} {ctrl:8d} {dp:9d} {overheads[width]:8.1%}")
+    assert overheads[1] > 0.5       # control dominates a 1-bit datapath
+    assert overheads[32] < 0.15     # "small for wide datapaths"
+    assert overheads[64] < 0.08
+
+
+def test_reproduce_overhead_by_configuration():
+    print("\n=== control overhead at width 32, per configuration ===")
+    for config in Config:
+        spec = build_fig9_spec(config)
+        ctrl = control_cost(control_layer_area(spec))
+        dp = datapath_cost(spec, 32)
+        print(f"{config.value:>22}: {ctrl / (ctrl + dp):6.1%}")
+
+
+def test_bench_area_accounting(benchmark):
+    spec = build_fig9_spec(Config.ACTIVE)
+    area = benchmark(control_layer_area, spec)
+    assert area.literals > 300

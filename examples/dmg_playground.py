@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Dual marked graphs: the behavioural model of Sect. 2.
+
+Replays the paper's Fig. 1 example -- a DMG with one early-enabling
+node -- firing under all three enabling rules (positive, early,
+negative), and demonstrates the algebraic properties of Sect. 2.2:
+token preservation on every cycle, liveness, and repetitive behaviour.
+Then a timed simulation estimates the throughput gain of early
+evaluation on the same graph shape.
+"""
+
+import random
+
+from repro.core import (
+    TimedDMGSimulator,
+    cycle_token_sums,
+    is_live,
+    max_throughput,
+    verify_repetitive_behavior,
+)
+from repro.core.dmg import DualMarkedGraph, fig1_dmg
+from repro.core.performance import fixed_latency, select_guard
+
+
+def render(g, marking) -> str:
+    cells = []
+    for arc in g.arcs:
+        v = marking[arc.name]
+        mark = "●" * v if v > 0 else "○" * (-v) if v < 0 else "·"
+        cells.append(f"  {arc.name:10s} {v:+d} {mark}")
+    return "\n".join(cells)
+
+
+def main() -> None:
+    g = fig1_dmg()
+    print("Fig. 1 dual marked graph:", g)
+    print("\ninitial marking (Fig. 1(a)):")
+    print(render(g, g.initial_marking))
+
+    # The paper's firing sequence: n2 positively, n1 early, n7 negatively.
+    m = g.initial_marking
+    for node in ("n2", "n1", "n7"):
+        kinds = g.enabling_kinds(node, m)
+        m = g.fire_any(node, m)
+        print(f"\nfired {node} ({kinds[0].value}-enabled):")
+        print(render(g, m))
+
+    print("\ncycle token sums (invariant under any firing):")
+    for cycle, total in cycle_token_sums(g).items():
+        print(f"  {' -> '.join(cycle)}: {total}")
+
+    print("\nliveness:", is_live(g))
+    print("throughput bound (unit latencies):", max_throughput(g))
+    verify_repetitive_behavior(g, steps=300, trials=20)
+    print("repetitive behaviour verified on 20 random interleavings")
+
+    # Timed comparison: early evaluation vs lazy on a mux diamond.
+    def mux_diamond():
+        d = DualMarkedGraph()
+        d.add_arc("src", "fast", name="sf")
+        d.add_arc("src", "slow", name="ss")
+        d.add_arc("fast", "mux", name="fm")
+        d.add_arc("slow", "mux", name="sm")
+        d.add_arc("mux", "src", tokens=2, name="ms")
+        d.mark_early("mux")
+        return d
+
+    lat = {"slow": fixed_latency(8)}
+    lazy = TimedDMGSimulator(mux_diamond(), latencies=lat, seed=1)
+    th_lazy = lazy.run(5000).throughput("mux")
+    early = TimedDMGSimulator(
+        mux_diamond(),
+        latencies=lat,
+        guards={"mux": select_guard({"fm": 0.85, "sm": 0.15})},
+        seed=1,
+    )
+    est = early.run(5000)
+    th_early = est.throughput("mux")
+    print(
+        f"\ntimed mux diamond (slow branch latency 8, selected 15%):"
+        f"\n  lazy  throughput = {th_lazy:.3f}"
+        f"\n  early throughput = {th_early:.3f}  "
+        f"({th_early / th_lazy:.2f}x, {sum(est.early_firings.values())} early "
+        f"firings, {sum(est.negative_firings.values())} counterflow firings)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""An elastic processor pipeline: all of the paper's machinery at once.
+
+Builds a five-stage in-order pipeline from the library's controllers:
+elastic buffers at every stage boundary, variable-latency multiplier
+and memory units, an early-evaluation writeback mux selecting results
+by opcode, and branch-misprediction recovery implemented purely with
+anti-token counterflow (the Sect. 7 extension) -- no global flush wire
+exists anywhere in the design.
+
+The script sweeps the branch misprediction rate and compares the IPC of
+the early-evaluation writeback against the lazy baseline.
+"""
+
+from repro.casestudy.processor import ProcessorConfig, run_processor
+
+
+def main() -> None:
+    print(f"{'p_mispredict':>12} {'early IPC':>9} {'lazy IPC':>8} "
+          f"{'gain':>5} {'flushes':>7}")
+    for p_mis in (0.0, 0.1, 0.25, 0.5):
+        results = {}
+        for early in (True, False):
+            cfg = ProcessorConfig(
+                early_writeback=early, p_mispredict=p_mis, seed=11
+            )
+            report, _ = run_processor(cfg, cycles=6000)
+            results[early] = report
+        e, l = results[True], results[False]
+        print(f"{p_mis:12.2f} {e.ipc:9.3f} {l.ipc:8.3f} "
+              f"{e.ipc / l.ipc:4.2f}x {e.flushes:7d}")
+
+    print("\nDetails at the paper's operating point:")
+    report, commit = run_processor(ProcessorConfig(seed=11), cycles=6000)
+    print(" ", report)
+    seqs = [i.seq for i in commit.committed]
+    assert seqs == sorted(seqs), "commit order broken"
+    print("  commit stream strictly in order across "
+          f"{report.flushes} pipeline flushes")
+    print("\nEvery flush is just a burst of anti-tokens: they counterflow")
+    print("through the writeback mux (forking into all execution units),")
+    print("preempt in-flight multiplies/loads, and annihilate exactly the")
+    print("wrong-path instructions -- the commit unit asserts it.")
+
+
+if __name__ == "__main__":
+    main()

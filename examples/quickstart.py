@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: build and simulate a small elastic pipeline.
+
+Builds the linear pipeline of Fig. 3 (three elastic buffers between a
+producer and a consumer), runs it with a stalling consumer, and prints
+the per-channel SELF statistics.  Every channel carries a protocol
+monitor, so the run doubles as a runtime verification of persistence
+and of the invariants of equation (2).
+"""
+
+import random
+
+from repro.elastic import ElasticBuffer, ElasticNetwork, Sink, Source
+
+
+def main() -> None:
+    net = ElasticNetwork("quickstart")
+
+    # Channels are named point-to-point links carrying {V+, S+, V-, S-}.
+    chans = [net.add_channel(f"c{i}") for i in range(4)]
+
+    # A producer that always has data (payload = sequence number).
+    net.add(Source("producer", chans[0], data_fn=lambda n: n))
+
+    # Three elastic buffers; the first holds an initial token.
+    net.add(ElasticBuffer("eb0", chans[0], chans[1],
+                          initial_tokens=1, initial_data=["init"]))
+    net.add(ElasticBuffer("eb1", chans[1], chans[2]))
+    net.add(ElasticBuffer("eb2", chans[2], chans[3]))
+
+    # A consumer that stalls 30% of the cycles (the Retry state of the
+    # SELF protocol exercises the buffers' back-pressure).
+    received = []
+    net.add(Sink("consumer", chans[3], p_stop=0.3,
+                 on_data=received.append, rng=random.Random(7)))
+
+    net.run(1000)
+
+    print(net.report())
+    print(f"\nreceived {len(received)} payloads, first five: {received[:5]}")
+    data = [v for v in received if v != "init"]
+    print("in order:", data == sorted(data))
+    print("\nElasticity in action: the consumer stalled ~30% of cycles,")
+    print("yet no token was lost or duplicated and the protocol monitors")
+    print("observed no violation of (I*R*T)* persistence.")
+
+
+if __name__ == "__main__":
+    main()

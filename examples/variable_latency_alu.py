@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Average-case ALU: variable latency + early evaluation together.
+
+The paper motivates elasticity with "a wider use of variable latency
+components targeting average case optimization".  This example builds a
+small execution cluster:
+
+* a fast path computing simple ops in 1 cycle,
+* a variable-latency multiplier (2 cycles usually, 12 on a slow case),
+* an early-evaluation multiplexer steering results by opcode.
+
+With a lazy join, every operation pays for the multiplier's occupancy;
+with the early join, ALU-only streams run at fast-path speed and
+anti-tokens cancel (or preempt!) the unneeded multiplier work.  The
+example sweeps the multiply ratio and prints both throughputs.
+"""
+
+import random
+
+from repro.core.performance import distribution_latency
+from repro.elastic.ee import MuxEE
+from repro.synthesis import SystemSpec, to_behavioral
+
+
+def build(mul_ratio: float, early: bool, seed: int) -> SystemSpec:
+    spec = SystemSpec(f"alu[{'early' if early else 'lazy'}]")
+
+    rng = random.Random(seed)
+
+    def opcode(n: int) -> str:
+        return "mul" if rng.random() < mul_ratio else "alu"
+
+    spec.add_source("issue", data_fn=opcode)
+    spec.add_sink("writeback")
+
+    # dispatch: fork the operation to both units and the select channel
+    spec.add_block("dispatch", n_inputs=1, n_outputs=3)
+    spec.add_register("RS_alu")     # reservation buffer, fast path
+    spec.add_block("alu")           # 1-cycle unit (control-transparent)
+    spec.add_register("R_alu")
+    spec.add_register("RS_mul")
+    spec.add_block(
+        "mul", latency=distribution_latency({2: 0.85, 12: 0.15})
+    )
+    spec.add_register("R_mul")
+    spec.add_register("R_sel")
+
+    chooser = {"alu": 1, "mul": 2}
+    spec.add_block(
+        "select",
+        n_inputs=3,
+        n_outputs=1,
+        ee=MuxEE(select=0, chooser=lambda op: chooser[op], arity=3) if early else None,
+        func=None if early else (lambda ops: ops[chooser[ops[0]]]),
+    )
+
+    spec.connect(spec.source("issue"), spec.block_in("dispatch"))
+    spec.connect(spec.block_out("dispatch", 0), spec.register_in("R_sel"))
+    spec.connect(spec.block_out("dispatch", 1), spec.register_in("RS_alu"))
+    spec.connect(spec.block_out("dispatch", 2), spec.register_in("RS_mul"))
+    spec.connect(spec.register_out("R_sel"), spec.block_in("select", 0))
+    spec.connect(spec.register_out("RS_alu"), spec.block_in("alu"))
+    spec.connect(spec.block_out("alu"), spec.register_in("R_alu"))
+    spec.connect(spec.register_out("R_alu"), spec.block_in("select", 1))
+    spec.connect(spec.register_out("RS_mul"), spec.block_in("mul"))
+    spec.connect(spec.block_out("mul"), spec.register_in("R_mul"))
+    spec.connect(spec.register_out("R_mul"), spec.block_in("select", 2))
+    spec.connect(spec.block_out("select"), spec.sink("writeback"))
+    spec.validate()
+    return spec
+
+
+def throughput(mul_ratio: float, early: bool) -> float:
+    net = to_behavioral(build(mul_ratio, early, seed=3), seed=3)
+    net.run(4000)
+    return net.throughput("issue->dispatch")
+
+
+def main() -> None:
+    print(f"{'mul ratio':>9}  {'lazy':>6}  {'early':>6}  {'gain':>5}")
+    for ratio in (0.0, 0.1, 0.25, 0.5, 0.75, 1.0):
+        lazy = throughput(ratio, early=False)
+        early = throughput(ratio, early=True)
+        gain = early / lazy if lazy else float("inf")
+        print(f"{ratio:9.2f}  {lazy:6.3f}  {early:6.3f}  {gain:5.2f}x")
+    print(
+        "\nEarly evaluation pays the most when multiplies are rare: the"
+        "\nmux fires from the fast path and anti-tokens preempt the"
+        "\nmultiplier's unneeded (slow) computations."
+    )
+
+
+if __name__ == "__main__":
+    main()

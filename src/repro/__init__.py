@@ -1,0 +1,14 @@
+"""repro -- Synchronous elastic circuits with early evaluation and token counterflow.
+
+A complete reproduction of Cortadella & Kishinevsky, DAC 2007:
+
+* :mod:`repro.core` -- dual marked graphs (the behavioural model).
+* :mod:`repro.rtl` -- gate/latch/flip-flop netlist kernel.
+* :mod:`repro.elastic` -- SELF protocol controllers, behavioural and
+  gate-level, with anti-token counterflow and early evaluation.
+* :mod:`repro.synthesis` -- the elasticization flow.
+* :mod:`repro.verif` -- CTL model checking of the controllers.
+* :mod:`repro.casestudy` -- the Fig. 9 example and Table 1 experiments.
+"""
+
+__version__ = "1.0.0"

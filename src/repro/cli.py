@@ -1,0 +1,162 @@
+"""Command-line interface to the elastic-circuit framework.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table1   [--cycles 10000] [--seed 2007]
+    python -m repro simulate --config active [--cycles 5000] [--seed 0]
+    python -m repro verify   [--design diamond|early|vl]
+    python -m repro export   --format verilog|blif|smv|dot
+                             [--config active] [-o out.v]
+    python -m repro bound    [--config lazy]
+    python -m repro dmg
+
+mirroring the paper's framework, which generated simulation, synthesis
+and verification models of the same controllers from one description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.casestudy.table1 import format_table, run_config, run_table1
+
+_CONFIGS = {c.name.lower(): c for c in Config}
+
+
+def _config(name: str) -> Config:
+    try:
+        return _CONFIGS[name.lower()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown configuration {name!r}; pick one of {sorted(_CONFIGS)}"
+        )
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = run_table1(cycles=args.cycles, seed=args.seed)
+    print(format_table(rows))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.synthesis.elaborate import to_behavioral
+
+    spec = build_fig9_spec(_config(args.config), seed=args.seed)
+    net = to_behavioral(spec, seed=args.seed)
+    net.run(args.cycles)
+    print(net.report())
+    print(f"\nsystem throughput: {net.throughput('Din->S'):.3f} transfers/cycle")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verif.properties import verify_netlist
+    from repro.verif.testbenches import DESIGNS, diamond_with_feedback
+
+    nl, chans, fairness = diamond_with_feedback(**DESIGNS[args.design])
+    result = verify_netlist(nl, chans, fairness=fairness, max_states=2_000_000)
+    print(result)
+    return 0 if result.ok else 1
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.rtl.export import channel_specs_smv, to_blif, to_smv, to_verilog
+    from repro.synthesis.dot import spec_to_dot
+    from repro.synthesis.elaborate import to_gates
+
+    spec = build_fig9_spec(_config(args.config))
+    if args.format == "dot":
+        text = spec_to_dot(spec)
+    else:
+        elab = to_gates(spec, include_env=True, as_latches=True)
+        if args.format == "verilog":
+            text = to_verilog(elab.netlist, module="fig9_control")
+        elif args.format == "blif":
+            text = to_blif(elab.netlist, model="fig9_control")
+        else:
+            specs = channel_specs_smv(elab.channels.values())
+            fairness = [f"{sig} = TRUE" for sig in elab.env_inputs]
+            text = to_smv(elab.netlist, specs=specs, fairness=fairness)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_bound(args: argparse.Namespace) -> int:
+    from repro.synthesis.abstraction import check_liveness, throughput_bound
+
+    spec = build_fig9_spec(_config(args.config))
+    live = check_liveness(spec)
+    bound = throughput_bound(spec, mean_latency={"M1": 3.6, "M2": 1.5})
+    print(f"configuration: {args.config}")
+    print(f"structurally live: {live}")
+    print(f"lazy throughput bound (min cycle ratio): {bound} = {float(bound):.3f}")
+    return 0
+
+
+def cmd_dmg(args: argparse.Namespace) -> int:
+    from repro.core.dmg import fig1_dmg
+    from repro.core.export import to_dot
+
+    g = fig1_dmg()
+    m = g.initial_marking
+    for node in ("n2", "n1", "n7"):
+        m = g.fire_any(node, m)
+    print(to_dot(g, m), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Elastic circuits with early evaluation and token counterflow",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p.add_argument("--cycles", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=2007)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("simulate", help="simulate one Fig. 9 configuration")
+    p.add_argument("--config", default="active")
+    p.add_argument("--cycles", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("verify", help="model check a controller netlist")
+    p.add_argument("--design", choices=("diamond", "early", "vl"),
+                   default="early")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("export", help="emit Verilog / BLIF / SMV / DOT")
+    p.add_argument("--format", choices=("verilog", "blif", "smv", "dot"),
+                   required=True)
+    p.add_argument("--config", default="active")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("bound", help="structural liveness + throughput bound")
+    p.add_argument("--config", default="lazy")
+    p.set_defaults(func=cmd_bound)
+
+    p = sub.add_parser("dmg", help="print the Fig. 1 DMG (DOT, marked)")
+    p.set_defaults(func=cmd_dmg)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

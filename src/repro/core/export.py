@@ -1,0 +1,51 @@
+"""Graphviz (DOT) export of marked graphs and dual marked graphs.
+
+Renders the diagrams of the paper's Fig. 1: nodes as bars (thick for
+early-enabling nodes), arcs annotated with their current marking --
+``●`` per token, ``○`` per anti-token.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.dmg import DualMarkedGraph
+from repro.core.mg import MarkedGraph
+
+
+def _marking_label(value: int) -> str:
+    if value > 0:
+        return "●" * min(value, 4) + (f"({value})" if value > 4 else "")
+    if value < 0:
+        return "○" * min(-value, 4) + (f"({value})" if value < -4 else "")
+    return ""
+
+
+def to_dot(
+    graph: MarkedGraph,
+    marking: Optional[Mapping[str, int]] = None,
+    name: str = "dmg",
+) -> str:
+    """Render ``graph`` (at ``marking``, default M0) as a DOT digraph."""
+    m = dict(marking) if marking is not None else graph.initial_marking
+    early = graph.early_nodes if isinstance(graph, DualMarkedGraph) else set()
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for node in graph.nodes:
+        shape = "box" if node in early else "ellipse"
+        width = "2" if node in early else "1"
+        lines.append(
+            f'  "{node}" [shape={shape}, penwidth={width}];'
+        )
+    for arc in graph.arcs:
+        label = _marking_label(m[arc.name])
+        color = "black"
+        if m[arc.name] < 0:
+            color = "red"
+        elif m[arc.name] > 0:
+            color = "blue"
+        lines.append(
+            f'  "{arc.src}" -> "{arc.dst}" '
+            f'[label="{label}", color={color}];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

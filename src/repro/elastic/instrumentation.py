@@ -1,0 +1,135 @@
+"""Instrumentation: token latency and occupancy measurement.
+
+The paper evaluates *throughput*; latency-insensitive design equally
+affects token *latency* (how many cycles a data item spends in the
+system) and buffer occupancy.  This module provides:
+
+* :class:`TracingSource` / :class:`TracingSink` -- stamp every payload
+  with its birth cycle and record the age distribution at consumption;
+* :class:`OccupancyProbe` -- per-cycle occupancy of a set of elastic
+  buffers (tokens and anti-tokens separately);
+* :func:`latency_stats` -- summary statistics of a latency sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.elastic.behavioral import Controller, ElasticBuffer, Sink, Source
+from repro.elastic.channel import Channel
+
+
+@dataclass(frozen=True)
+class StampedToken:
+    """A payload wrapped with its birth cycle."""
+
+    payload: object
+    born: int
+
+    def __repr__(self) -> str:
+        return f"<{self.payload!r}@{self.born}>"
+
+
+class TracingSource(Source):
+    """A source that wraps payloads in :class:`StampedToken`."""
+
+    def __init__(self, name: str, output: Channel, **kwargs):
+        self._clock = 0
+        inner = kwargs.pop("data_fn", None) or (lambda n: n)
+        super().__init__(
+            name, output,
+            data_fn=lambda n: StampedToken(inner(n), self._clock),
+            **kwargs,
+        )
+
+    def commit(self) -> None:
+        super().commit()
+        self._clock += 1
+
+
+class TracingSink(Sink):
+    """A sink recording the age of every consumed token."""
+
+    def __init__(self, name: str, input: Channel, **kwargs):
+        super().__init__(name, input, **kwargs)
+        self._clock = 0
+        self.latencies: List[int] = []
+
+    def commit(self) -> None:
+        ch = self.input
+        if ch.pos_transfer and isinstance(ch.data, StampedToken):
+            self.latencies.append(self._clock - ch.data.born)
+        self._clock += 1
+        super().commit()
+
+
+@dataclass
+class LatencyStats:
+    """Summary of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: int
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} p50={self.p50:.0f} "
+            f"p95={self.p95:.0f} max={self.maximum}"
+        )
+
+
+def latency_stats(latencies: Sequence[int]) -> LatencyStats:
+    """Mean/median/p95/max of a latency sample."""
+    if not latencies:
+        return LatencyStats(0, 0.0, 0.0, 0.0, 0)
+    ordered = sorted(latencies)
+    n = len(ordered)
+
+    def pct(p: float) -> float:
+        idx = min(n - 1, max(0, math.ceil(p * n) - 1))
+        return float(ordered[idx])
+
+    return LatencyStats(
+        count=n,
+        mean=sum(ordered) / n,
+        p50=pct(0.50),
+        p95=pct(0.95),
+        maximum=ordered[-1],
+    )
+
+
+class OccupancyProbe(Controller):
+    """Samples buffer occupancy every cycle.
+
+    Register it on a network *after* the buffers it watches; it owns no
+    channels and only observes state during commit.
+    """
+
+    def __init__(self, name: str, buffers: Sequence[ElasticBuffer]):
+        super().__init__(name)
+        self.buffers = list(buffers)
+        self.token_samples: List[int] = []
+        self.anti_samples: List[int] = []
+
+    def evaluate(self) -> bool:
+        return False
+
+    def commit(self) -> None:
+        self.token_samples.append(sum(b.tokens for b in self.buffers))
+        self.anti_samples.append(sum(b.anti_tokens for b in self.buffers))
+
+    @property
+    def mean_tokens(self) -> float:
+        if not self.token_samples:
+            return 0.0
+        return sum(self.token_samples) / len(self.token_samples)
+
+    @property
+    def mean_anti_tokens(self) -> float:
+        if not self.anti_samples:
+            return 0.0
+        return sum(self.anti_samples) / len(self.anti_samples)

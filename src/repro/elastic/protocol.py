@@ -1,0 +1,180 @@
+"""The SELF protocol and its dual (anti-token) extension.
+
+Section 3 of the paper: a channel carries ``Valid`` (V) and ``Stop`` (S)
+and is, each cycle, in one of three states:
+
+* **Transfer (T)**: ``V and not S`` -- data moves.
+* **Idle (I)**: ``not V`` -- no data offered.
+* **Retry (R)**: ``V and S`` -- data offered but not accepted; the
+  sender must hold it (persistence), so the observable language of a
+  channel is ``(I* R* T)*``.
+
+Section 4 adds the symmetric negative flow: a *dual* channel carries
+``{V+, S+, V−, S−}``.  Events:
+
+* **positive transfer**: ``V+ and not S+ and not V−``
+* **negative transfer**: ``V− and not S− and not V+``
+* **kill**: ``V+ and V−`` -- token and anti-token annihilate.
+
+and the channel invariants of equation (2)::
+
+    not (V− and S+)      -- cannot kill a token and stop it
+    not (V+ and S−)      -- dual for anti-tokens
+
+The throughput of a channel is the sum of the three event rates, which
+by the repetitive behaviour of SCDMGs is identical on every channel of a
+strongly connected system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ChannelState(enum.Enum):
+    """State of a (positive) SELF channel in one cycle."""
+
+    TRANSFER = "T"
+    IDLE = "I"
+    RETRY = "R"
+
+
+class DualChannelEvent(enum.Enum):
+    """Event observed on a dual channel in one cycle."""
+
+    POSITIVE_TRANSFER = "+"
+    NEGATIVE_TRANSFER = "-"
+    KILL = "±"
+    RETRY_POS = "R+"
+    RETRY_NEG = "R-"
+    IDLE = "I"
+
+
+def classify(valid: int, stop: int) -> ChannelState:
+    """Classify a positive-only channel cycle (Fig. 2)."""
+    if not valid:
+        return ChannelState.IDLE
+    return ChannelState.RETRY if stop else ChannelState.TRANSFER
+
+
+def invariant_holds(vp: int, sp: int, vn: int, sn: int) -> bool:
+    """The equation (2) invariants of a dual channel."""
+    return not (vn and sp) and not (vp and sn)
+
+
+def classify_dual(vp: int, sp: int, vn: int, sn: int) -> DualChannelEvent:
+    """Classify one cycle of a dual channel.
+
+    Raises ``ProtocolViolation`` if the invariants of equation (2) are
+    broken: classification would be ambiguous otherwise.
+    """
+    if not invariant_holds(vp, sp, vn, sn):
+        raise ProtocolViolation(
+            f"invariant (2) violated: V+={vp} S+={sp} V-={vn} S-={sn}"
+        )
+    if vp and vn:
+        return DualChannelEvent.KILL
+    if vp and not sp:
+        return DualChannelEvent.POSITIVE_TRANSFER
+    if vp and sp:
+        return DualChannelEvent.RETRY_POS
+    if vn and not sn:
+        return DualChannelEvent.NEGATIVE_TRANSFER
+    if vn and sn:
+        return DualChannelEvent.RETRY_NEG
+    return DualChannelEvent.IDLE
+
+
+class ProtocolViolation(AssertionError):
+    """A SELF protocol rule was broken on a channel."""
+
+
+@dataclass
+class ProtocolMonitor:
+    """Runtime monitor for one dual channel.
+
+    Checks, cycle by cycle:
+
+    * the invariants of equation (2);
+    * **persistence** of the positive flow: after Retry+ the sender must
+      keep ``V+`` asserted with the *same data* until transfer or kill
+      (this is exactly the ``(I*R*T)*`` language of Fig. 2);
+    * **persistence** of the negative flow (Retry− keeps ``V−``).
+
+    Attach one monitor per channel and feed it each settled cycle.
+    """
+
+    name: str = "channel"
+    check_data: bool = True
+    _pending_pos: bool = field(default=False, repr=False)
+    _pending_data: object = field(default=None, repr=False)
+    _pending_neg: bool = field(default=False, repr=False)
+    history: List[DualChannelEvent] = field(default_factory=list, repr=False)
+
+    def observe(
+        self, vp: int, sp: int, vn: int, sn: int, data: object = None
+    ) -> DualChannelEvent:
+        """Check one cycle; returns its classification."""
+        event = classify_dual(vp, sp, vn, sn)
+
+        if self._pending_pos and not vp:
+            raise ProtocolViolation(
+                f"{self.name}: V+ dropped during Retry+ (persistence broken)"
+            )
+        if (
+            self._pending_pos
+            and vp
+            and self.check_data
+            and data != self._pending_data
+        ):
+            raise ProtocolViolation(
+                f"{self.name}: data changed during Retry+ "
+                f"({self._pending_data!r} -> {data!r})"
+            )
+        if self._pending_neg and not vn:
+            raise ProtocolViolation(
+                f"{self.name}: V- dropped during Retry- (persistence broken)"
+            )
+
+        self._pending_pos = event is DualChannelEvent.RETRY_POS
+        self._pending_data = data if self._pending_pos else None
+        self._pending_neg = event is DualChannelEvent.RETRY_NEG
+        self.history.append(event)
+        return event
+
+    def language_ok(self) -> bool:
+        """Whether the observed positive trace is a prefix of (I*R*T)*.
+
+        Equivalent to never having seen a Retry followed by Idle, which
+        :meth:`observe` already raises on; provided for explicit checks
+        over recorded histories.
+        """
+        pending = False
+        for ev in self.history:
+            pos_valid = ev in (
+                DualChannelEvent.POSITIVE_TRANSFER,
+                DualChannelEvent.RETRY_POS,
+                DualChannelEvent.KILL,
+            )
+            if pending and not pos_valid:
+                return False
+            pending = ev is DualChannelEvent.RETRY_POS
+        return True
+
+    def throughput(self) -> float:
+        """Transfers + kills per observed cycle (the paper's Th metric)."""
+        if not self.history:
+            return 0.0
+        moving = sum(
+            1
+            for ev in self.history
+            if ev
+            in (
+                DualChannelEvent.POSITIVE_TRANSFER,
+                DualChannelEvent.NEGATIVE_TRANSFER,
+                DualChannelEvent.KILL,
+            )
+        )
+        return moving / len(self.history)

@@ -1,0 +1,78 @@
+"""Text rendering of channel activity: the token game, in ASCII.
+
+Every channel records its per-cycle event classification; this module
+renders those histories as compact waveforms for debugging and for the
+examples::
+
+    cycle       0123456789...
+    Din->S      +++R+±++-..
+    F3->W       ..++--±+R-.
+
+Legend: ``+`` positive transfer, ``-`` negative (anti-token) transfer,
+``±`` kill, ``R``/``r`` positive/negative retry, ``.`` idle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.elastic.behavioral import ElasticNetwork
+from repro.elastic.channel import Channel
+from repro.elastic.protocol import DualChannelEvent
+
+_GLYPH = {
+    DualChannelEvent.POSITIVE_TRANSFER: "+",
+    DualChannelEvent.NEGATIVE_TRANSFER: "-",
+    DualChannelEvent.KILL: "±",
+    DualChannelEvent.RETRY_POS: "R",
+    DualChannelEvent.RETRY_NEG: "r",
+    DualChannelEvent.IDLE: ".",
+}
+
+
+def channel_waveform(channel: Channel, last: Optional[int] = None) -> str:
+    """One channel's event history as a glyph string.
+
+    Requires the channel's protocol monitor (it records the history);
+    ``last`` trims to the most recent cycles.
+    """
+    if channel.monitor is None:
+        raise ValueError(f"channel {channel.name!r} has no monitor/history")
+    history = channel.monitor.history
+    if last is not None:
+        history = history[-last:]
+    return "".join(_GLYPH[ev] for ev in history)
+
+
+def render_waveforms(
+    network: ElasticNetwork,
+    channels: Optional[Sequence[str]] = None,
+    last: int = 60,
+) -> str:
+    """A waveform table for (selected) channels of a network."""
+    names = list(channels) if channels is not None else sorted(network.channels)
+    rows: List[str] = []
+    width = max((len(n) for n in names), default=5)
+    total = network.cycle
+    start = max(0, total - last)
+    header = f"{'cycle':<{width}}  {start}..{total - 1}"
+    rows.append(header)
+    for name in names:
+        ch = network.channels[name]
+        rows.append(f"{name:<{width}}  {channel_waveform(ch, last=last)}")
+    return "\n".join(rows)
+
+
+def event_summary(network: ElasticNetwork) -> str:
+    """Aggregate event counts over all channels (a one-line health check)."""
+    totals: Dict[str, int] = {"+": 0, "-": 0, "±": 0, "R": 0, "r": 0, ".": 0}
+    for ch in network.channels.values():
+        s = ch.stats
+        totals["+"] += s.positive
+        totals["-"] += s.negative
+        totals["±"] += s.kills
+        totals["R"] += s.retries_pos
+        totals["r"] += s.retries_neg
+        totals["."] += s.idle
+    parts = " ".join(f"{k}:{v}" for k, v in totals.items())
+    return f"{network.cycle} cycles, {len(network.channels)} channels | {parts}"

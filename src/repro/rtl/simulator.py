@@ -1,0 +1,225 @@
+"""Two-phase cycle simulation of netlists with X-propagation.
+
+The paper's controllers are latch-based (Fig. 3): ``H`` latches are
+transparent while the clock is high, ``L`` latches while it is low.  A
+clock cycle is therefore simulated as two phases:
+
+1. **HIGH** phase -- ``H`` latches are transparent (their output follows
+   their input combinationally), ``L`` latches hold; at the end of the
+   phase the ``H`` latches capture.
+2. **LOW** phase -- symmetric; at the end of the phase the ``L`` latches
+   capture and flip-flops capture their ``d`` (a flip-flop triggers on
+   the next rising edge, i.e. the upcoming cycle boundary).
+
+Within a phase, combinational values are computed as the least fixed
+point of the ternary (0/1/X) gate functions starting from all-X.  This
+is the classical ternary simulation: it is exact for acyclic logic and
+conservatively reports ``X`` for truly unresolvable combinational
+cycles.  The paper takes care to place the token-cancellation gates at
+EHB boundaries precisely so that no such cycles arise; the simulator
+verifies this claim (`strict_x=True` raises on unresolved signals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.rtl.logic import Value, X, is_known, land, lmux, lnot, lor, lxor
+from repro.rtl.netlist import FlipFlop, Gate, Latch, Netlist, Phase
+
+State = Dict[str, Value]
+Values = Dict[str, Value]
+
+
+class CombinationalCycleError(RuntimeError):
+    """Raised in strict mode when a phase leaves signals unresolved."""
+
+
+def _eval_gate(gate: Gate, vals: Mapping[str, Value]) -> Value:
+    ins = [vals.get(i, X) for i in gate.ins]
+    op = gate.op
+    if op == "AND":
+        return land(*ins)
+    if op == "OR":
+        return lor(*ins)
+    if op == "NOT":
+        return lnot(ins[0])
+    if op == "NAND":
+        return lnot(land(*ins))
+    if op == "NOR":
+        return lnot(lor(*ins))
+    if op == "XOR":
+        return lxor(ins[0], ins[1])
+    if op == "MUX":
+        return lmux(ins[0], ins[1], ins[2])
+    if op == "BUF":
+        return ins[0]
+    if op == "CONST0":
+        return 0
+    if op == "CONST1":
+        return 1
+    raise AssertionError(f"unhandled op {op}")
+
+
+class TwoPhaseSimulator:
+    """Cycle simulator for a :class:`Netlist` with H/L latch phases.
+
+    The simulator keeps the latch/flop state between calls to
+    :meth:`cycle`; :meth:`step_function` exposes the same semantics as a
+    pure function of (state, inputs), which the model checker in
+    :mod:`repro.verif` uses to build Kripke structures.
+    """
+
+    def __init__(self, netlist: Netlist, strict_x: bool = False) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.strict_x = strict_x
+        self._order = self._schedule()
+        self.state: State = self.initial_state()
+        self.values: Values = {}
+        self.time = 0
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> State:
+        """Reset state: every latch/flop at its declared init value."""
+        state: State = {}
+        for q, latch in self.netlist.latches.items():
+            state[q] = latch.init
+        for q, flop in self.netlist.flops.items():
+            state[q] = flop.init
+        return state
+
+    def reset(self) -> None:
+        """Restore the reset state and clear the clock counter."""
+        self.state = self.initial_state()
+        self.values = {}
+        self.time = 0
+
+    def _schedule(self) -> List[str]:
+        """A quasi-topological gate order for fast fixed-point passes.
+
+        Orders gate outputs by depth-first post-order over fan-in edges,
+        treating latches and flops as cuts.  For acyclic combinational
+        logic one pass over this order reaches the fixed point; cyclic
+        logic simply needs extra passes.
+        """
+        nl = self.netlist
+        order: List[str] = []
+        seen: Set[str] = set()
+        # Iterative DFS to avoid recursion limits on deep netlists.
+        for root in nl.gates:
+            if root in seen:
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            path: Set[str] = set()
+            while stack:
+                sig, idx = stack.pop()
+                if idx == 0:
+                    if sig in seen or sig not in nl.gates:
+                        continue
+                    path.add(sig)
+                fanin = nl.gates[sig].ins
+                if idx < len(fanin):
+                    stack.append((sig, idx + 1))
+                    child = fanin[idx]
+                    if child in nl.gates and child not in seen and child not in path:
+                        stack.append((child, 0))
+                else:
+                    path.discard(sig)
+                    if sig not in seen:
+                        seen.add(sig)
+                        order.append(sig)
+        return order
+
+    # ------------------------------------------------------------------
+    def _phase_values(
+        self,
+        inputs: Mapping[str, Value],
+        state: Mapping[str, Value],
+        phase: Phase,
+    ) -> Values:
+        """Least ternary fixed point of one clock phase."""
+        nl = self.netlist
+        vals: Values = {}
+        for sig in nl.inputs:
+            vals[sig] = inputs.get(sig, X)
+        for q in nl.flops:
+            vals[q] = state[q]
+        transparent: List[Latch] = []
+        for q, latch in nl.latches.items():
+            if latch.phase == phase:
+                transparent.append(latch)
+                vals[q] = X
+            else:
+                vals[q] = state[q]
+        for out in self._order:
+            vals[out] = X
+
+        max_passes = len(self._order) + len(transparent) + 2
+        for _ in range(max_passes):
+            changed = False
+            for out in self._order:
+                new = _eval_gate(nl.gates[out], vals)
+                if new is not vals[out] and new != vals[out]:
+                    vals[out] = new
+                    changed = True
+            for latch in transparent:
+                new = vals.get(latch.d, X)
+                if new is not vals[latch.q] and new != vals[latch.q]:
+                    vals[latch.q] = new
+                    changed = True
+            if not changed:
+                break
+        return vals
+
+    def step_function(
+        self, state: Mapping[str, Value], inputs: Mapping[str, Value]
+    ) -> Tuple[Values, State]:
+        """One full clock cycle as a pure function.
+
+        Args:
+            state: latch/flop values at the cycle start.
+            inputs: primary input values, stable for the whole cycle.
+
+        Returns:
+            ``(values, next_state)`` where ``values`` are the signal
+            values observed at the end of the LOW phase (the cycle
+            boundary) and ``next_state`` the captured latch/flop values.
+        """
+        nl = self.netlist
+        high_vals = self._phase_values(inputs, state, Phase.HIGH)
+        mid_state: State = dict(state)
+        for q, latch in nl.latches.items():
+            if latch.phase == Phase.HIGH:
+                mid_state[q] = high_vals[q]
+        low_vals = self._phase_values(inputs, mid_state, Phase.LOW)
+        next_state: State = dict(mid_state)
+        for q, latch in nl.latches.items():
+            if latch.phase == Phase.LOW:
+                next_state[q] = low_vals[q]
+        for q, flop in nl.flops.items():
+            next_state[q] = low_vals.get(flop.d, X)
+        if self.strict_x:
+            unresolved = [
+                s
+                for s, v in low_vals.items()
+                if v is X and all(is_known(inputs.get(i, X)) for i in nl.inputs)
+                and all(is_known(v2) for v2 in state.values())
+            ]
+            if unresolved:
+                raise CombinationalCycleError(
+                    f"unresolved signals after LOW phase: {sorted(unresolved)[:8]}"
+                )
+        return low_vals, next_state
+
+    def cycle(self, inputs: Optional[Mapping[str, Value]] = None) -> Values:
+        """Advance the stateful simulation by one clock cycle."""
+        values, next_state = self.step_function(self.state, inputs or {})
+        self.state = next_state
+        self.values = values
+        self.time += 1
+        return values
+
+    def value(self, sig: str) -> Value:
+        """Value of ``sig`` at the end of the last simulated cycle."""
+        return self.values[sig]

@@ -1,0 +1,56 @@
+"""The elasticization flow (Sect. 6 of the paper).
+
+A synchronous system is described as a :class:`~repro.synthesis.spec.
+SystemSpec` -- functional blocks, registers, sources and sinks wired by
+named connections.  The flow then generates the elastic control layer:
+
+* :func:`~repro.synthesis.elaborate.to_behavioral` -- a cycle-accurate
+  :class:`~repro.elastic.behavioral.ElasticNetwork` for throughput
+  simulation (the paper's Verilog model);
+* :func:`~repro.synthesis.elaborate.to_gates` -- a gate/latch/FF
+  netlist for area accounting and model checking (the paper's BLIF/SMV
+  models).
+
+The conversion follows the paper's recipe: every register becomes an EB
+controller (a pair of EHBs), every multi-input block gets a join (or an
+early join, at the designer's choice), every multi-output block an
+eager fork, variable-latency units get VL controllers, and channels
+whose negative wires are structurally constant are simplified away
+(passive anti-token interfaces or plain constant propagation).
+"""
+
+from repro.synthesis.spec import (
+    BlockSpec,
+    Connection,
+    Endpoint,
+    RegisterSpec,
+    SinkSpec,
+    SourceSpec,
+    SystemSpec,
+)
+from repro.synthesis.elaborate import (
+    GateElaboration,
+    control_layer_area,
+    to_behavioral,
+    to_gates,
+)
+from repro.synthesis.abstraction import check_liveness, spec_to_dmg, throughput_bound
+from repro.synthesis.dot import spec_to_dot
+
+__all__ = [
+    "check_liveness",
+    "spec_to_dmg",
+    "spec_to_dot",
+    "throughput_bound",
+    "BlockSpec",
+    "Connection",
+    "Endpoint",
+    "RegisterSpec",
+    "SinkSpec",
+    "SourceSpec",
+    "SystemSpec",
+    "GateElaboration",
+    "control_layer_area",
+    "to_behavioral",
+    "to_gates",
+]

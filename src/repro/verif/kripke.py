@@ -1,0 +1,160 @@
+"""Explicit-state Kripke structures from gate netlists.
+
+A netlist with ``k`` primary inputs and sequential state ``s`` defines a
+transition system: given (s, i) the two-phase simulator computes the
+observable signal values and the successor state s'.  Signal values
+depend on the *input* as well as the state, so Kripke states are
+(state, input) pairs: every (s', i') with arbitrary i' is a successor
+of (s, i).  Atomic propositions are then simple signal-value lookups.
+
+State spaces of elastic controllers are small (the paper: "the size of
+the controllers is small, state-of-the-art model checking techniques
+readily apply"); explicit enumeration with a few thousand states checks
+the same CTL properties NuSMV did.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import TwoPhaseSimulator
+
+StateKey = Tuple[int, ...]
+
+
+@dataclass
+class KripkeStructure:
+    """An explicit Kripke structure over (state, input) pairs."""
+
+    #: names of the labelled signals, in label-vector order
+    signals: List[str]
+    #: per Kripke-state signal values (0/1), aligned with ``signals``
+    labels: List[Tuple[int, ...]]
+    #: successor indices per state
+    successors: List[List[int]]
+    #: initial state indices
+    initial: List[int]
+    #: primary-input names, aligned with the input part of each state
+    input_names: List[str] = field(default_factory=list)
+    #: the raw (sequential-state, input) pair per Kripke state
+    raw_states: List[Tuple[StateKey, Tuple[int, ...]]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    _index: Optional[Dict[str, int]] = None
+
+    def signal_index(self, name: str) -> int:
+        if self._index is None:
+            self._index = {s: i for i, s in enumerate(self.signals)}
+        return self._index[name]
+
+    def value(self, state: int, signal: str) -> int:
+        """Value of ``signal`` in Kripke state ``state``."""
+        return self.labels[state][self.signal_index(signal)]
+
+    def states_where(self, predicate: Callable[[Mapping[str, int]], bool]) -> FrozenSet[int]:
+        """All states whose label valuation satisfies ``predicate``."""
+        result = set()
+        for idx, label in enumerate(self.labels):
+            valuation = dict(zip(self.signals, label))
+            if predicate(valuation):
+                result.add(idx)
+        return frozenset(result)
+
+    def predecessors(self) -> List[List[int]]:
+        """Reverse transition relation (computed on demand)."""
+        preds: List[List[int]] = [[] for _ in self.labels]
+        for src, succs in enumerate(self.successors):
+            for dst in succs:
+                preds[dst].append(src)
+        return preds
+
+
+def build_kripke(
+    netlist: Netlist,
+    observe: Optional[Sequence[str]] = None,
+    max_states: int = 500_000,
+) -> KripkeStructure:
+    """Enumerate the reachable Kripke structure of ``netlist``.
+
+    Args:
+        netlist: the controller netlist; its primary inputs are treated
+            as fully non-deterministic (all 2^k combinations each
+            cycle).
+        observe: signal names to expose as atomic propositions
+            (defaults to the netlist's declared outputs plus inputs).
+        max_states: safety bound on the exploration.
+
+    Returns:
+        The reachable :class:`KripkeStructure`.
+    """
+    sim = TwoPhaseSimulator(netlist)
+    inputs = list(netlist.inputs)
+    observed = list(observe) if observe is not None else (
+        list(netlist.outputs) + inputs
+    )
+    state_names = sorted(sim.initial_state())
+    input_combos = [
+        dict(zip(inputs, combo))
+        for combo in itertools.product((0, 1), repeat=len(inputs))
+    ]
+
+    def state_key(state: Mapping[str, int]) -> StateKey:
+        return tuple(state[n] for n in state_names)
+
+    # First pass: explore reachable sequential states and memoise the
+    # transition/observation of every (state, input) pair.
+    seq_index: Dict[StateKey, int] = {}
+    seq_states: List[Dict[str, int]] = []
+    transition: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+
+    initial_state = sim.initial_state()
+    seq_index[state_key(initial_state)] = 0
+    seq_states.append(dict(initial_state))
+    frontier = [0]
+    while frontier:
+        si = frontier.pop()
+        state = seq_states[si]
+        for ii, input_map in enumerate(input_combos):
+            values, next_state = sim.step_function(state, input_map)
+            label = tuple(1 if values.get(s) == 1 else 0 for s in observed)
+            nk = state_key(next_state)
+            if nk not in seq_index:
+                if len(seq_index) >= max_states:
+                    raise RuntimeError(f"state bound {max_states} exceeded")
+                seq_index[nk] = len(seq_states)
+                seq_states.append({n: next_state[n] for n in state_names})
+                frontier.append(seq_index[nk])
+            transition[(si, ii)] = (seq_index[nk], label)
+
+    # Second pass: fold inputs into Kripke states.
+    n_inputs = len(input_combos)
+    n_kripke = len(seq_states) * n_inputs
+
+    def k_index(si: int, ii: int) -> int:
+        return si * n_inputs + ii
+
+    labels: List[Tuple[int, ...]] = [()] * n_kripke
+    successors: List[List[int]] = [[] for _ in range(n_kripke)]
+    raw: List[Tuple[StateKey, Tuple[int, ...]]] = [((), ())] * n_kripke
+    for (si, ii), (next_si, label) in transition.items():
+        idx = k_index(si, ii)
+        labels[idx] = label
+        successors[idx] = [k_index(next_si, jj) for jj in range(n_inputs)]
+        raw[idx] = (
+            state_key(seq_states[si]),
+            tuple(input_combos[ii][name] for name in inputs),
+        )
+    initial = [k_index(0, ii) for ii in range(n_inputs)]
+    return KripkeStructure(
+        signals=observed,
+        labels=labels,
+        successors=successors,
+        initial=initial,
+        input_names=inputs,
+        raw_states=raw,
+    )

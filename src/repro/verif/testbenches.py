@@ -1,0 +1,79 @@
+"""Reusable verification netlists (the Fig. 8(a) designs).
+
+These are the "netlists explicitly designed to exercise different
+combinations of controllers" of Sect. 5 -- join/fork diamonds with
+feedback, with or without early evaluation and variable-latency units.
+They feed both the benchmark suite and the ``repro verify`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.elastic.gates import (
+    GateChannel,
+    build_elastic_buffer,
+    build_fork,
+    build_join,
+    build_nd_sink,
+    build_nd_source,
+    build_variable_latency,
+)
+from repro.rtl.netlist import Netlist
+from repro.verif.ctl import AP, Formula
+
+
+def diamond_with_feedback(
+    early: bool = False, with_vl: bool = False
+) -> Tuple[Netlist, List[GateChannel], List[Formula]]:
+    """source -> join(in, fb) -> fork -> (out, feedback EB).
+
+    The feedback arc carries the initial token, so the ring is live;
+    care is taken (per the paper) to include feedback to verify that it
+    does not introduce deadlocks.  Returns the netlist, its channels
+    and the fairness constraints for the liveness property.
+    """
+    nl = Netlist("fig8a")
+    i = GateChannel.declare(nl, "i")
+    z = GateChannel.declare(nl, "z")
+    out = GateChannel.declare(nl, "out")
+    fb = GateChannel.declare(nl, "fb")
+    fbq = GateChannel.declare(nl, "fbq")
+    choice = nl.add_input("src.choice")
+    build_nd_source(nl, i, prefix="src", choice_input=choice)
+    ee = (lambda n, vps, datas: n.OR(*vps)) if early else None
+    build_join(nl, [i, fbq], z, prefix="j", ee=ee,
+               datas=[(), ()] if early else None)
+    build_fork(nl, z, [out, fb], prefix="f")
+    build_elastic_buffer(nl, fb, fbq, prefix="eb", initial_tokens=1,
+                         as_latches=False)
+    chans = [i, z, out, fb, fbq]
+    if with_vl:
+        done = nl.add_input("vl.done")
+        mid = GateChannel.declare(nl, "mid")
+        build_variable_latency(nl, out, mid, prefix="vl", done_input=done)
+        sink_ch = mid
+        chans.append(mid)
+    else:
+        sink_ch = out
+    stall = nl.add_input("snk.stall")
+    kill = nl.add_input("snk.kill")
+    build_nd_sink(nl, sink_ch, prefix="snk", stall_input=stall,
+                  kill_input=kill)
+    for ch in chans:
+        for w in ch.wires():
+            nl.add_output(w)
+    fairness: List[Formula] = [
+        AP("snk.stall", 0), AP("snk.kill", 0), AP("src.choice", 1),
+    ]
+    if with_vl:
+        fairness.append(AP("vl.done", 1))
+    return nl, chans, fairness
+
+
+#: named design variants, used by the CLI and the benchmark suite
+DESIGNS: Dict[str, Dict[str, bool]] = {
+    "diamond": dict(early=False, with_vl=False),
+    "early": dict(early=True, with_vl=False),
+    "vl": dict(early=False, with_vl=True),
+}

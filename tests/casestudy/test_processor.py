@@ -1,0 +1,117 @@
+"""Tests for the elastic processor pipeline."""
+
+import pytest
+
+from repro.casestudy.processor import (
+    FetchUnit,
+    Instruction,
+    ProcessorConfig,
+    build_processor,
+    run_processor,
+)
+
+
+@pytest.fixture(scope="module")
+def default_run():
+    return run_processor(ProcessorConfig(seed=3), cycles=3000)
+
+
+class TestBasicOperation:
+    def test_instructions_commit(self, default_run):
+        report, commit = default_run
+        assert report.committed > 300
+        assert report.ipc == pytest.approx(report.committed / 3000)
+
+    def test_commit_strictly_in_order(self, default_run):
+        _, commit = default_run
+        seqs = [i.seq for i in commit.committed]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)  # no duplicates
+
+    def test_epochs_monotone(self, default_run):
+        _, commit = default_run
+        epochs = [i.epoch for i in commit.committed]
+        assert epochs == sorted(epochs)
+
+    def test_no_wrong_path_commits(self, default_run):
+        """The commit unit asserts epoch freshness internally; verify
+        the stream ends at the fetch's final epoch."""
+        _, commit = default_run
+        assert commit.committed[-1].epoch == commit.fetch.epoch
+
+    def test_op_mix_respected(self, default_run):
+        _, commit = default_run
+        ops = [i.op for i in commit.committed]
+        assert ops.count("alu") > ops.count("mul") > 0
+
+
+class TestFlushing:
+    def test_flushes_happen_and_kill(self, default_run):
+        report, _ = default_run
+        assert report.flushes > 5
+        assert report.wrong_path_killed >= report.flushes
+
+    def test_no_branches_no_flushes(self):
+        report, _ = run_processor(
+            ProcessorConfig(p_branch=0.0, seed=1), cycles=1500
+        )
+        assert report.flushes == 0
+        assert report.wrong_path_killed == 0
+
+    def test_always_mispredict_still_progresses(self):
+        report, commit = run_processor(
+            ProcessorConfig(p_mispredict=1.0, seed=2), cycles=3000
+        )
+        assert report.committed > 50
+        seqs = [i.seq for i in commit.committed]
+        assert seqs == sorted(seqs)
+
+    def test_mispredictions_cost_throughput(self):
+        clean = run_processor(
+            ProcessorConfig(p_mispredict=0.0, seed=4), cycles=3000
+        )[0]
+        dirty = run_processor(
+            ProcessorConfig(p_mispredict=0.5, seed=4), cycles=3000
+        )[0]
+        assert clean.ipc > dirty.ipc
+
+
+class TestEarlyEvaluation:
+    def test_early_writeback_beats_lazy(self):
+        early = run_processor(
+            ProcessorConfig(early_writeback=True, seed=7), cycles=3000
+        )[0]
+        lazy = run_processor(
+            ProcessorConfig(early_writeback=False, seed=7), cycles=3000
+        )[0]
+        assert early.ipc > lazy.ipc * 1.3
+
+    def test_alu_only_mix_runs_fast(self):
+        cfg = ProcessorConfig(
+            op_mix={"alu": 1.0, "mul": 0.0, "mem": 0.0},
+            p_branch=0.0,
+            seed=8,
+        )
+        report, _ = run_processor(cfg, cycles=2000)
+        assert report.ipc > 0.55  # never waits for mul/mem
+
+    def test_mul_heavy_mix_bound_by_multiplier(self):
+        cfg = ProcessorConfig(
+            op_mix={"alu": 0.0, "mul": 1.0, "mem": 0.0},
+            p_branch=0.0,
+            seed=9,
+        )
+        report, _ = run_processor(cfg, cycles=2000)
+        # mean mul latency 3*0.8 + 12*0.2 = 4.8
+        assert report.ipc < 0.3
+
+
+class TestProtocol:
+    def test_network_protocol_monitored(self):
+        """Channels run with full V/S persistence monitoring."""
+        net, fetch, commit = build_processor(ProcessorConfig(seed=5))
+        net.run(800)  # raises on any protocol violation
+
+    def test_report_str(self, default_run):
+        report, _ = default_run
+        assert "IPC" in str(report)

@@ -1,0 +1,124 @@
+"""Unit tests for dual marked graphs (Sect. 2.1)."""
+
+import random
+
+import pytest
+
+from repro.core.dmg import DualMarkedGraph, Enabling, FiringEvent, fig1_dmg
+
+
+@pytest.fixture
+def dmg():
+    return fig1_dmg()
+
+
+class TestEarlyDeclaration:
+    def test_fig1_has_one_early_node(self, dmg):
+        assert dmg.early_nodes == {"n1"}
+
+    def test_mark_early_unknown_node_raises(self, dmg):
+        with pytest.raises(KeyError):
+            dmg.mark_early("nope")
+
+    def test_is_early(self, dmg):
+        assert dmg.is_early("n1")
+        assert not dmg.is_early("n2")
+
+
+class TestEnablingRules:
+    def test_positive_enabling_matches_mg(self, dmg):
+        m = dmg.initial_marking
+        assert dmg.p_enabled("n2", m)
+        assert not dmg.p_enabled("n1", m)
+
+    def test_negative_enabling_requires_all_outputs_negative(self, dmg):
+        m = dmg.initial_marking
+        m["n7->n1"] = -1
+        assert dmg.n_enabled("n7", m)
+
+    def test_negative_enabling_false_on_partial(self, dmg):
+        m = dmg.initial_marking
+        m["n1->n2"] = -1  # n1 has two outputs, only one negative
+        assert not dmg.n_enabled("n1", m)
+
+    def test_node_without_outputs_never_n_enabled(self):
+        g = DualMarkedGraph()
+        g.add_arc("a", "b")
+        assert not g.n_enabled("b", {"a->b": -1})
+
+    def test_early_enabling_needs_positive_sum_and_a_zero(self, dmg):
+        m = dmg.fire("n2", dmg.initial_marking)
+        # preset(n1) = {n7->n1: 0, n8->n1: 1}: sum 1 > 0, some arc zero
+        assert dmg.e_enabled("n1", m)
+
+    def test_early_enabling_only_for_declared_nodes(self, dmg):
+        m = dmg.fire("n2", dmg.initial_marking)
+        assert not dmg.e_enabled("n7", m)
+
+    def test_early_not_enabled_when_all_inputs_marked(self, dmg):
+        m = dmg.initial_marking
+        m["n7->n1"] = 1  # now both inputs of n1 are positive
+        assert not dmg.e_enabled("n1", m)
+        assert dmg.p_enabled("n1", m)
+
+    def test_enabling_kinds(self, dmg):
+        m = dmg.fire("n2", dmg.initial_marking)
+        assert dmg.enabling_kinds("n1", m) == [Enabling.EARLY]
+
+
+class TestFiring:
+    def test_paper_trace_reaches_fig1b(self, dmg):
+        """Fire n2 (P), n1 (E), n7 (N) as in the paper's example."""
+        m = dmg.initial_marking
+        m = dmg.fire_event(FiringEvent("n2", Enabling.POSITIVE), m)
+        m = dmg.fire_event(FiringEvent("n1", Enabling.EARLY), m)
+        assert m["n7->n1"] == -1  # anti-token left by the early firing
+        m = dmg.fire_event(FiringEvent("n7", Enabling.NEGATIVE), m)
+        # Anti-tokens propagated backwards to n7's input arcs.
+        assert m["n4->n7"] == -1
+        assert m["n5->n7"] == -1
+        assert m["n7->n1"] == 0
+
+    def test_cycle_sums_preserved_on_paper_trace(self, dmg):
+        c1 = ["n1->n2", "n2->n4", "n4->n7", "n7->n1"]
+        m = dmg.initial_marking
+        total0 = sum(m[a] for a in c1)
+        for node in ("n2", "n1", "n7"):
+            m = dmg.fire_any(node, m)
+        assert sum(m[a] for a in c1) == total0 == 1
+
+    def test_fig1b_c1_has_two_tokens_one_antitoken(self, dmg):
+        m = dmg.initial_marking
+        for node in ("n2", "n1", "n7"):
+            m = dmg.fire_any(node, m)
+        c1 = {"n1->n2": m["n1->n2"], "n2->n4": m["n2->n4"],
+              "n4->n7": m["n4->n7"], "n7->n1": m["n7->n1"]}
+        assert sorted(c1.values()) == [-1, 0, 1, 1]
+
+    def test_fire_event_checks_specific_rule(self, dmg):
+        with pytest.raises(ValueError):
+            dmg.fire_event(FiringEvent("n2", Enabling.NEGATIVE), dmg.initial_marking)
+
+    def test_fire_any_disabled_raises(self, dmg):
+        with pytest.raises(ValueError):
+            dmg.fire_any("n4", dmg.initial_marking)
+
+    def test_enabled_events_lists_pairs(self, dmg):
+        events = dmg.enabled_events(dmg.initial_marking)
+        assert FiringEvent("n2", Enabling.POSITIVE) in events
+
+
+class TestRandomExploration:
+    def test_random_sequences_never_deadlock(self, dmg):
+        trace, m = dmg.random_firing_sequence(300, rng=random.Random(0))
+        assert len(trace) == 300
+
+    def test_random_sequences_preserve_cycle_sums(self, dmg):
+        cycles = dmg.simple_cycles()
+        sums0 = [dmg.marking_of(dmg.initial_marking, c) for c in cycles]
+        for seed in range(5):
+            _, m = dmg.random_firing_sequence(200, rng=random.Random(seed))
+            assert [dmg.marking_of(m, c) for c in cycles] == sums0
+
+    def test_firing_event_str(self):
+        assert str(FiringEvent("n1", Enabling.EARLY)) == "n1(E)"

@@ -1,0 +1,153 @@
+"""Tests for the timed DMG simulator (performance analysis layer)."""
+
+import random
+
+import pytest
+
+from repro.core.dmg import DualMarkedGraph
+from repro.core.performance import (
+    TimedDMGSimulator,
+    distribution_latency,
+    fixed_latency,
+    select_guard,
+)
+
+
+def two_branch_mux_dmg():
+    """A fork/mux diamond: src -> (a | b) -> mux -> back to src.
+
+    The mux is early-enabling: each firing requires only the selected
+    branch.
+    """
+    g = DualMarkedGraph()
+    g.add_arc("src", "a", name="sa")
+    g.add_arc("src", "b", name="sb")
+    g.add_arc("a", "mux", name="am")
+    g.add_arc("b", "mux", name="bm")
+    g.add_arc("mux", "src", tokens=2, name="ms")
+    g.mark_early("mux")
+    return g
+
+
+class TestSamplers:
+    def test_fixed_latency(self):
+        assert fixed_latency(3)(random.Random(0)) == 3
+
+    def test_fixed_latency_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fixed_latency(0)
+
+    def test_distribution_latency_support(self):
+        sampler = distribution_latency({2: 0.8, 10: 0.2})
+        rng = random.Random(0)
+        values = {sampler(rng) for _ in range(200)}
+        assert values == {2, 10}
+
+    def test_distribution_latency_mean(self):
+        sampler = distribution_latency({2: 0.8, 10: 0.2})
+        rng = random.Random(1)
+        mean = sum(sampler(rng) for _ in range(5000)) / 5000
+        assert 3.2 < mean < 4.0
+
+    def test_distribution_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            distribution_latency({2: 0.0})
+
+    def test_distribution_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            distribution_latency({0: 1.0})
+
+    def test_select_guard_distribution(self):
+        guard = select_guard({"x": 0.9, "y": 0.1})
+        rng = random.Random(2)
+        picks = [next(iter(guard(rng))) for _ in range(1000)]
+        assert picks.count("x") > 800
+
+
+class TestSimulator:
+    def test_ring_throughput_matches_bound(self):
+        g = DualMarkedGraph()
+        g.add_arc("a", "b", tokens=1)
+        g.add_arc("b", "a", tokens=1)
+        sim = TimedDMGSimulator(g)
+        est = sim.run(1000)
+        assert est.throughput("a") == pytest.approx(1.0, abs=0.01)
+
+    def test_latency_reduces_throughput(self):
+        g = DualMarkedGraph()
+        g.add_arc("a", "b", tokens=1)
+        g.add_arc("b", "a", tokens=0)
+        sim = TimedDMGSimulator(g, latencies={"b": fixed_latency(3)})
+        est = sim.run(2000)
+        assert est.throughput("a") == pytest.approx(0.25, abs=0.02)
+
+    def test_guard_on_non_early_node_rejected(self):
+        g = DualMarkedGraph()
+        g.add_arc("a", "b", tokens=1)
+        g.add_arc("b", "a")
+        with pytest.raises(ValueError):
+            TimedDMGSimulator(g, guards={"a": select_guard({"b->a": 1.0})})
+
+    def test_guard_requiring_foreign_arc_rejected(self):
+        g = two_branch_mux_dmg()
+        sim = TimedDMGSimulator(g, guards={"mux": select_guard({"sa": 1.0})})
+        with pytest.raises(ValueError):
+            sim.run(5)
+
+    def test_early_firings_generate_antitokens_then_counterflow(self):
+        # A two-stage slow branch: b2 is starved while b1 computes, so
+        # anti-tokens left on b2->mux by early firings flow backwards
+        # through b2 (negative firings = token counterflow).
+        g = DualMarkedGraph()
+        g.add_arc("src", "a", name="sa")
+        g.add_arc("src", "b1", name="sb")
+        g.add_arc("a", "mux", name="am")
+        g.add_arc("b1", "b2", name="bb")
+        g.add_arc("b2", "mux", name="bm")
+        g.add_arc("mux", "src", tokens=2, name="ms")
+        g.mark_early("mux")
+        sim = TimedDMGSimulator(
+            g,
+            guards={"mux": select_guard({"am": 0.9, "bm": 0.1})},
+            latencies={"b1": fixed_latency(6)},
+            seed=5,
+        )
+        est = sim.run(2000)
+        assert sum(est.early_firings.values()) > 0
+        assert est.negative_firings["b2"] > 0
+
+    def test_early_evaluation_beats_lazy_with_slow_branch(self):
+        guards = {"mux": select_guard({"am": 0.9, "bm": 0.1})}
+        lat = {"b": fixed_latency(8)}
+        early = TimedDMGSimulator(two_branch_mux_dmg(), latencies=lat, guards=guards)
+        th_early = early.run(4000).throughput("mux")
+        lazy = TimedDMGSimulator(two_branch_mux_dmg(), latencies=lat)
+        th_lazy = lazy.run(4000).throughput("mux")
+        assert th_early > th_lazy * 1.5
+
+    def test_reset_clears_statistics(self):
+        g = two_branch_mux_dmg()
+        sim = TimedDMGSimulator(g)
+        sim.run(50)
+        sim.reset()
+        assert sim.cycle == 0
+        assert all(v == 0 for v in sim.firings.values())
+        assert sim.marking == g.initial_marking
+
+    def test_firing_classification_partition(self):
+        g = two_branch_mux_dmg()
+        sim = TimedDMGSimulator(
+            g, guards={"mux": select_guard({"am": 0.7, "bm": 0.3})}, seed=9
+        )
+        est = sim.run(500)
+        for node in g.nodes:
+            total = (
+                est.positive_firings[node]
+                + est.negative_firings[node]
+                + est.early_firings[node]
+            )
+            assert total == est.firings[node]
+
+    def test_throughput_zero_before_running(self):
+        sim = TimedDMGSimulator(two_branch_mux_dmg())
+        assert sim.run(0).throughput() == 0.0

@@ -1,0 +1,176 @@
+"""Unit tests for the dual elastic buffer (Fig. 5 semantics)."""
+
+import pytest
+
+from repro.elastic.behavioral import ElasticBuffer, ElasticNetwork
+from repro.elastic.crosscheck import ScriptedEnd
+from repro.elastic.protocol import ProtocolViolation
+
+
+def make_eb(initial_tokens=0, initial_data=None, capacity=2):
+    net = ElasticNetwork("eb")
+    left = net.add_channel("L", monitor=False)
+    right = net.add_channel("R", monitor=False)
+    producer = ScriptedEnd("prod", left, "producer")
+    consumer = ScriptedEnd("cons", right, "consumer")
+    eb = ElasticBuffer(
+        "eb", left, right,
+        capacity=capacity, initial_tokens=initial_tokens, initial_data=initial_data,
+    )
+    net.add(producer)
+    net.add(eb)
+    net.add(consumer)
+    return net, producer, eb, consumer
+
+
+class TestConstruction:
+    def test_capacity_validated(self):
+        net = ElasticNetwork("x")
+        l, r = net.add_channel("l"), net.add_channel("r")
+        with pytest.raises(ValueError):
+            ElasticBuffer("eb", l, r, capacity=0)
+
+    def test_initial_tokens_bounded(self):
+        net = ElasticNetwork("x")
+        l, r = net.add_channel("l"), net.add_channel("r")
+        with pytest.raises(ValueError):
+            ElasticBuffer("eb", l, r, initial_tokens=3)
+
+    def test_initial_data_length_checked(self):
+        net = ElasticNetwork("x")
+        l, r = net.add_channel("l"), net.add_channel("r")
+        with pytest.raises(ValueError):
+            ElasticBuffer("eb", l, r, initial_tokens=1, initial_data=["a", "b"])
+
+    def test_token_antitoken_views(self):
+        net, _, eb, _ = make_eb(initial_tokens=2)
+        assert eb.tokens == 2 and eb.anti_tokens == 0
+        eb.count = -1
+        assert eb.tokens == 0 and eb.anti_tokens == 1
+
+
+class TestForwardFlow:
+    def test_forward_latency_is_one_cycle(self):
+        net, prod, eb, cons = make_eb()
+        prod.set(1, 0, data="t0")
+        cons.set(0, 0)
+        net.step()
+        assert eb.count == 1  # absorbed, not yet visible downstream
+        prod.set(0, 1)
+        net.step()
+        assert net.channels["R"].last_event.value == "+"
+        assert eb.count == 0
+
+    def test_data_fifo_order(self):
+        net, prod, eb, cons = make_eb()
+        cons.set(1, 0)  # stall: fill the buffer
+        prod.set(1, 0, data="a")
+        net.step()
+        prod.set(1, 0, data="b")
+        net.step()
+        assert eb.data == ["a", "b"]
+        cons.set(0, 0)
+        prod.set(0, 1)
+        net.step()
+        net.step()
+        assert eb.data == []
+
+    def test_backpressure_at_capacity(self):
+        net, prod, eb, cons = make_eb()
+        cons.set(1, 0)
+        prod.set(1, 0, data="a")
+        net.step()
+        prod.set(1, 0, data="b")
+        net.step()
+        prod.set(1, 0, data="c")
+        net.step()  # third token must be refused
+        assert eb.count == 2
+        assert net.channels["L"].last_event.value == "R+"
+
+    def test_capacity_one_buffer(self):
+        net, prod, eb, cons = make_eb(capacity=1)
+        cons.set(1, 0)
+        prod.set(1, 0, data="a")
+        net.step()
+        prod.set(1, 0, data="b")
+        net.step()
+        assert eb.count == 1
+
+
+class TestAntiTokenFlow:
+    def test_kill_at_output_boundary(self):
+        net, prod, eb, cons = make_eb(initial_tokens=1, initial_data=["a"])
+        prod.set(0, 1)
+        cons.set(0, 1)  # consumer sends an anti-token
+        net.step()
+        assert net.channels["R"].last_event.value == "±"
+        assert eb.count == 0 and eb.data == []
+
+    def test_anti_token_enters_empty_buffer(self):
+        net, prod, eb, cons = make_eb()
+        prod.set(0, 0)
+        cons.set(0, 1)
+        net.step()
+        assert net.channels["R"].last_event.value == "-"
+        assert eb.anti_tokens == 1
+
+    def test_stored_anti_token_kills_arriving_token(self):
+        net, prod, eb, cons = make_eb()
+        prod.set(0, 0)
+        cons.set(0, 1)
+        net.step()  # anti stored
+        cons.set(0, 0)
+        prod.set(1, 0, data="doomed")
+        net.step()
+        assert net.channels["L"].last_event.value == "±"
+        assert eb.count == 0 and eb.data == []
+
+    def test_anti_token_propagates_backward(self):
+        net, prod, eb, cons = make_eb()
+        prod.set(0, 0)  # producer side accepts anti-tokens (sn=0)
+        cons.set(0, 1)
+        net.step()  # anti enters
+        cons.set(0, 0)
+        net.step()  # anti leaves on the left channel
+        assert net.channels["L"].last_event.value == "-"
+        assert eb.count == 0
+
+    def test_anti_capacity_backpressure(self):
+        net, prod, eb, cons = make_eb()
+        prod.set(0, 1)  # upstream blocks anti-tokens
+        cons.set(0, 1)
+        net.step()
+        net.step()  # two antis stored
+        assert eb.anti_tokens == 2
+        net.step()  # third anti refused: Retry-
+        assert eb.anti_tokens == 2
+        assert net.channels["R"].last_event.value == "R-"
+
+    def test_simultaneous_token_and_anti_annihilate_inside(self):
+        net, prod, eb, cons = make_eb()
+        prod.set(1, 0, data="x")
+        cons.set(0, 1)
+        net.step()
+        assert eb.count == 0 and eb.data == []
+        assert net.channels["L"].last_event.value == "+"
+        assert net.channels["R"].last_event.value == "-"
+
+
+class TestStateIntegrity:
+    def test_reset(self):
+        net, prod, eb, cons = make_eb(initial_tokens=1, initial_data=["z"])
+        prod.set(0, 1)
+        cons.set(0, 0)
+        net.step()
+        eb.reset()
+        assert eb.count == 1 and eb.data == ["z"]
+
+    def test_outputs_are_state_functions(self):
+        """An EB cuts combinational paths: outputs depend on state only."""
+        net, prod, eb, cons = make_eb(initial_tokens=1, initial_data=["v"])
+        prod.set(1, 0, data="w")
+        cons.set(1, 0)
+        net.step()
+        ch = net.channels["R"]
+        assert ch.vp == 1  # from state, regardless of consumer stop
+        assert net.channels["L"].sp == 0  # capacity not full

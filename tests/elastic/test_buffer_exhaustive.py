@@ -1,0 +1,113 @@
+"""Exhaustive verification of the elastic buffer's transition function.
+
+The dual EB is the single most load-bearing controller (every stage
+boundary is one).  This suite enumerates *every* (occupancy, boundary
+wires) combination, compares the behavioural controller against an
+independently written reference transition function, and checks the
+safety invariants of Sect. 4 on each transition.
+"""
+
+import itertools
+
+import pytest
+
+from repro.elastic.behavioral import ElasticBuffer, ElasticNetwork
+from repro.elastic.crosscheck import ScriptedEnd
+from repro.elastic.protocol import invariant_holds
+
+
+def reference_transition(count, vp_l, sn_l, sp_r, vn_r):
+    """Independent dual-EB model (written from the DMG semantics).
+
+    Returns (outputs, next_count) where outputs = (sp_l, vn_l, vp_r,
+    sn_r).  Occupancy is the signed token count in [-2, 2].
+    """
+    # outputs are pure state functions
+    sp_l = 1 if count >= 2 else 0
+    vn_l = 1 if count < 0 else 0
+    vp_r = 1 if count > 0 else 0
+    sn_r = 1 if count <= -2 else 0
+
+    nxt = count
+    # right boundary: head token leaves or is annihilated; anti enters
+    if vp_r and vn_r:
+        nxt -= 1  # kill at the output boundary
+    elif vp_r and not sp_r:
+        nxt -= 1  # positive transfer out
+    elif vn_r and not sn_r and not vp_r:
+        nxt -= 1  # anti-token enters
+    # left boundary: token enters or dies; anti leaves
+    if vp_l and vn_l:
+        nxt += 1  # arriving token annihilates a stored anti
+    elif vn_l and not sn_l:
+        nxt += 1  # anti-token moves backwards
+    elif vp_l and not sp_l and not vn_l:
+        nxt += 1  # positive transfer in
+    return (sp_l, vn_l, vp_r, sn_r), nxt
+
+
+def make_eb(count):
+    net = ElasticNetwork("x")
+    left = net.add_channel("L", monitor=False)
+    right = net.add_channel("R", monitor=False)
+    prod = ScriptedEnd("p", left, "producer")
+    cons = ScriptedEnd("c", right, "consumer")
+    tokens = max(count, 0)
+    eb = ElasticBuffer("eb", left, right, initial_tokens=tokens,
+                       initial_data=list(range(tokens)))
+    eb.count = count
+    eb.data = list(range(max(count, 0)))
+    net.add(prod)
+    net.add(eb)
+    net.add(cons)
+    return net, prod, eb, cons
+
+
+ALL_CASES = [
+    (count, vp_l, sn_l, sp_r, vn_r)
+    for count in range(-2, 3)
+    for vp_l, sn_l, sp_r, vn_r in itertools.product((0, 1), repeat=4)
+]
+
+
+@pytest.mark.parametrize("count,vp_l,sn_l,sp_r,vn_r", ALL_CASES)
+def test_transition_matches_reference(count, vp_l, sn_l, sp_r, vn_r):
+    # skip environment inputs that a protocol-legal neighbour cannot
+    # produce against our outputs (invariant (2) pre-conditions)
+    (sp_l, vn_l, vp_r, sn_r), expected = reference_transition(
+        count, vp_l, sn_l, sp_r, vn_r
+    )
+    if (vp_l and sn_l) or (vn_r and sp_r):
+        pytest.skip("illegal environment (violates invariant (2))")
+    if vn_l and sp_l:
+        pytest.skip("unreachable output combination")
+
+    net, prod, eb, cons = make_eb(count)
+    prod.set(vp_l, sn_l, data=99)
+    cons.set(sp_r, vn_r)
+    net.step()
+
+    # outputs observed on the settled channels
+    assert net.channels["L"].sp == sp_l
+    assert net.channels["L"].vn == vn_l
+    assert net.channels["R"].vp == vp_r
+    assert net.channels["R"].sn == sn_r
+    # both channels satisfied invariant (2)
+    L, R = net.channels["L"], net.channels["R"]
+    assert invariant_holds(L.vp, L.sp, L.vn, L.sn)
+    assert invariant_holds(R.vp, R.sp, R.vn, R.sn)
+    # next state
+    assert eb.count == expected
+    assert -2 <= eb.count <= 2
+    assert len(eb.data) == max(eb.count, 0)
+
+
+def test_reference_never_overflows():
+    """The reference model itself stays within capacity under any
+    legal environment -- a sanity check on the test oracle."""
+    for count, vp_l, sn_l, sp_r, vn_r in ALL_CASES:
+        outs, nxt = reference_transition(count, vp_l, sn_l, sp_r, vn_r)
+        sp_l, vn_l, vp_r, sn_r = outs
+        if (vp_l and sn_l) or (vn_r and sp_r):
+            continue
+        assert -2 <= nxt <= 2

@@ -1,0 +1,144 @@
+"""Unit tests for the early-evaluation join (Fig. 6(c))."""
+
+import pytest
+
+from repro.elastic.behavioral import EarlyJoin, ElasticNetwork
+from repro.elastic.crosscheck import ScriptedEnd
+from repro.elastic.ee import AndEE, MuxEE
+
+
+def make_ej():
+    """An EJ with a select channel (index 0) and two operands."""
+    net = ElasticNetwork("ej")
+    ins = [net.add_channel(n, monitor=False) for n in ("s", "a", "b")]
+    out = net.add_channel("z", monitor=False)
+    prods = [ScriptedEnd(f"p.{ch.name}", ch, "producer") for ch in ins]
+    cons = ScriptedEnd("c", out, "consumer")
+    ee = MuxEE(select=0, chooser=lambda s: 1 if s else 2, arity=3)
+    ej = EarlyJoin("ej", ins, out, ee)
+    for p in prods:
+        net.add(p)
+    net.add(ej)
+    net.add(cons)
+    return net, prods, ej, cons
+
+
+class TestEarlyFiring:
+    def test_fires_without_unselected_operand(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=True)   # select a
+        pa.set(1, 0, data="A")
+        pb.set(0, 0)              # b missing
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["z"].last_event.value == "+"
+        assert net.channels["z"].data == "A"
+
+    def test_antitoken_generated_on_missing_input(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=True)
+        pa.set(1, 0, data="A")
+        pb.set(0, 0)
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["b"].last_event.value == "-"  # G gate fired
+        assert ej.apend == [0, 0, 0]  # delivered immediately
+
+    def test_blocked_antitoken_latched(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=True)
+        pa.set(1, 0, data="A")
+        pb.set(0, 1)  # upstream b refuses anti-tokens
+        cons.set(0, 0)
+        net.step()
+        assert ej.apend == [0, 0, 1]
+
+    def test_pending_antitoken_kills_late_arrival(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=True)
+        pa.set(1, 0, data="A")
+        pb.set(0, 1)
+        cons.set(0, 0)
+        net.step()
+        ps.set(0, 0)
+        pa.set(0, 0)
+        pb.set(1, 0, data="LATE")
+        net.step()
+        assert net.channels["b"].last_event.value == "±"
+        assert ej.apend == [0, 0, 0]
+
+    def test_b_gate_blocks_next_firing_until_drained(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=True)
+        pa.set(1, 0, data="A")
+        pb.set(0, 1)
+        cons.set(0, 0)
+        net.step()
+        assert ej.apend == [0, 0, 1]
+        # next operation ready, but the anti-token has not drained
+        ps.set(1, 0, data=True)
+        pa.set(1, 0, data="A2")
+        pb.set(0, 1)
+        net.step()
+        assert net.channels["z"].vp == 0
+
+    def test_no_early_firing_without_select(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(0, 0)
+        pa.set(1, 0, data="A")
+        pb.set(1, 0, data="B")
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["z"].vp == 0
+
+    def test_no_antitoken_on_stalled_output(self):
+        """G gates require an output transfer (not S+out)."""
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=True)
+        pa.set(1, 0, data="A")
+        pb.set(0, 0)
+        cons.set(1, 0)  # output stalled
+        net.step()
+        assert net.channels["b"].vn == 0
+        assert net.channels["z"].last_event.value == "R+"
+
+    def test_kill_at_output_still_generates_antitokens(self):
+        """A kill consumes the firing, so missing inputs owe anti-tokens."""
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=True)
+        pa.set(1, 0, data="A")
+        pb.set(0, 0)
+        cons.set(0, 1)  # anti-token at the output
+        net.step()
+        assert net.channels["z"].last_event.value == "±"
+        assert net.channels["b"].last_event.value == "-"
+
+    def test_all_inputs_present_behaves_like_join(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(1, 0, data=False)  # select b
+        pa.set(1, 0, data="A")
+        pb.set(1, 0, data="B")
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["z"].data == "B"
+        # a's token is consumed too (early firing decrements all inputs)
+        assert net.channels["a"].last_event.value == "+"
+
+    def test_arity_mismatch_rejected(self):
+        net = ElasticNetwork("bad")
+        ins = [net.add_channel("x", monitor=False)]
+        out = net.add_channel("z", monitor=False)
+        with pytest.raises(ValueError):
+            EarlyJoin("bad", ins, out, AndEE(2))
+
+
+class TestAntiForkThroughEJ:
+    def test_incoming_anti_forked_when_not_firing(self):
+        net, (ps, pa, pb), ej, cons = make_ej()
+        ps.set(0, 0)
+        pa.set(0, 0)
+        pb.set(0, 0)
+        cons.set(0, 1)
+        net.step()
+        for name in ("s", "a", "b"):
+            assert net.channels[name].last_event.value == "-"

@@ -1,0 +1,119 @@
+"""Tests for early-evaluation functions and the unateness constraint."""
+
+import pytest
+
+from repro.elastic.ee import (
+    AndEE,
+    EarlyEvalFunction,
+    MuxEE,
+    ThresholdEE,
+    check_positive_unate,
+)
+from repro.rtl.logic import X
+
+
+class TestAndEE:
+    def test_all_valid(self):
+        ee = AndEE(3)
+        assert ee.evaluate([1, 1, 1], [None] * 3) == 1
+
+    def test_any_missing(self):
+        ee = AndEE(3)
+        assert ee.evaluate([1, 0, 1], [None] * 3) == 0
+
+    def test_unknown(self):
+        ee = AndEE(2)
+        assert ee.evaluate([1, X], [None, None]) is X
+
+    def test_output_data_tuple(self):
+        ee = AndEE(2)
+        assert ee.output_data([1, 1], ["a", "b"]) == ("a", "b")
+
+
+class TestMuxEE:
+    @pytest.fixture
+    def mux(self):
+        return MuxEE(select=0, chooser=lambda s: 1 if s else 2, arity=3)
+
+    def test_select_unknown_gives_x(self, mux):
+        assert mux.evaluate([X, 1, 1], [None] * 3) is X
+
+    def test_select_invalid_gives_zero(self, mux):
+        assert mux.evaluate([0, 1, 1], [None] * 3) == 0
+
+    def test_fires_with_only_selected_operand(self, mux):
+        assert mux.evaluate([1, 1, 0], [True, "a", None]) == 1
+        assert mux.evaluate([1, 0, 1], [True, None, "b"]) == 0
+
+    def test_selected_operand_unknown(self, mux):
+        assert mux.evaluate([1, X, 0], [True, None, None]) is X
+
+    def test_output_data_selects(self, mux):
+        assert mux.output_data([1, 1, 0], [True, "a", None]) == "a"
+        assert mux.output_data([1, 0, 1], [False, None, "b"]) == "b"
+
+    def test_chooser_out_of_range_raises(self):
+        bad = MuxEE(select=0, chooser=lambda s: 7, arity=3)
+        with pytest.raises(ValueError):
+            bad.evaluate([1, 1, 1], ["x", None, None])
+
+
+class TestThresholdEE:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ThresholdEE(0, 3)
+        with pytest.raises(ValueError):
+            ThresholdEE(4, 3)
+
+    def test_fires_at_threshold(self):
+        ee = ThresholdEE(2, 3)
+        assert ee.evaluate([1, 1, 0], [None] * 3) == 1
+        assert ee.evaluate([1, 0, 0], [None] * 3) == 0
+
+    def test_unknowns_straddling_threshold(self):
+        ee = ThresholdEE(2, 3)
+        assert ee.evaluate([1, X, 0], [None] * 3) is X
+
+    def test_or_causality(self):
+        ee = ThresholdEE(1, 2)
+        assert ee.evaluate([0, 1], [None, "b"]) == 1
+
+    def test_output_data_filters_valid(self):
+        ee = ThresholdEE(1, 3)
+        assert ee.output_data([1, 0, 1], ["a", None, "c"]) == ("a", "c")
+
+
+class TestUnatenessChecker:
+    def test_and_is_unate(self):
+        assert check_positive_unate(AndEE(3), data_domain=[None])
+
+    def test_mux_is_unate(self):
+        mux = MuxEE(select=0, chooser=lambda s: 1 if s else 2, arity=3)
+        assert check_positive_unate(mux, data_domain=[True, False], select_indices=[0])
+
+    def test_threshold_is_unate(self):
+        assert check_positive_unate(ThresholdEE(2, 3), data_domain=[None])
+
+    def test_violation_detected(self):
+        class AbsenceEE(EarlyEvalFunction):
+            """Fires on the *absence* of input 1 -- forbidden by Sect. 4.3."""
+
+            arity = 2
+
+            def evaluate(self, valids, datas):
+                if any(v is X for v in valids):
+                    return X
+                return 1 if (valids[0] == 1 and valids[1] == 0) else 0
+
+        with pytest.raises(AssertionError):
+            check_positive_unate(AbsenceEE(), data_domain=[None])
+
+    def test_x_on_known_inputs_detected(self):
+        class LeakyEE(EarlyEvalFunction):
+            arity = 1
+
+            def evaluate(self, valids, datas):
+                return X
+
+        with pytest.raises(AssertionError):
+            check_positive_unate(LeakyEE(), data_domain=[None])

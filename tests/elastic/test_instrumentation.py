@@ -1,0 +1,96 @@
+"""Tests for latency tracing and occupancy probes."""
+
+import random
+
+import pytest
+
+from repro.elastic.behavioral import ElasticBuffer, ElasticNetwork, Sink
+from repro.elastic.instrumentation import (
+    LatencyStats,
+    OccupancyProbe,
+    StampedToken,
+    TracingSink,
+    TracingSource,
+    latency_stats,
+)
+
+
+def traced_pipeline(stages, p_stop=0.0, seed=0):
+    net = ElasticNetwork("traced")
+    chans = [net.add_channel(f"c{i}") for i in range(stages + 1)]
+    src = TracingSource("src", chans[0], rng=random.Random(seed))
+    net.add(src)
+    buffers = []
+    for i in range(stages):
+        eb = ElasticBuffer(f"eb{i}", chans[i], chans[i + 1])
+        buffers.append(eb)
+        net.add(eb)
+    sink = TracingSink("snk", chans[-1], p_stop=p_stop,
+                       rng=random.Random(seed + 1))
+    net.add(sink)
+    probe = OccupancyProbe("probe", buffers)
+    net.add(probe)
+    return net, sink, probe
+
+
+class TestLatencyTracing:
+    def test_free_flow_latency_equals_depth(self):
+        net, sink, _ = traced_pipeline(4)
+        net.run(200)
+        # steady state: one cycle per buffer
+        steady = sink.latencies[10:]
+        assert steady and all(l == 4 for l in steady)
+
+    def test_stalls_increase_latency(self):
+        net_free, sink_free, _ = traced_pipeline(4)
+        net_free.run(400)
+        net_slow, sink_slow, _ = traced_pipeline(4, p_stop=0.5, seed=3)
+        net_slow.run(400)
+        assert latency_stats(sink_slow.latencies).mean > latency_stats(
+            sink_free.latencies
+        ).mean
+
+    def test_stamped_token_repr(self):
+        assert "@3" in repr(StampedToken("x", 3))
+
+
+class TestLatencyStats:
+    def test_empty_sample(self):
+        s = latency_stats([])
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_percentiles(self):
+        s = latency_stats(list(range(1, 101)))
+        assert s.p50 == 50
+        assert s.p95 == 95
+        assert s.maximum == 100
+        assert s.mean == pytest.approx(50.5)
+
+    def test_str(self):
+        assert "p95" in str(latency_stats([1, 2, 3]))
+
+
+class TestOccupancy:
+    def test_backpressure_fills_buffers(self):
+        net_free, _, probe_free = traced_pipeline(3)
+        net_free.run(300)
+        net_slow, _, probe_slow = traced_pipeline(3, p_stop=0.7, seed=5)
+        net_slow.run(300)
+        assert probe_slow.mean_tokens > probe_free.mean_tokens
+
+    def test_anti_token_occupancy_counted(self):
+        net = ElasticNetwork("anti")
+        a, b = net.add_channel("a"), net.add_channel("b")
+        src = TracingSource("src", a, p_valid=0.05, rng=random.Random(1))
+        net.add(src)
+        eb = ElasticBuffer("eb", a, b)
+        net.add(eb)
+        net.add(Sink("snk", b, p_kill=0.8, rng=random.Random(2)))
+        probe = OccupancyProbe("probe", [eb])
+        net.add(probe)
+        net.run(300)
+        assert probe.mean_anti_tokens > 0
+
+    def test_empty_probe(self):
+        probe = OccupancyProbe("p", [])
+        assert probe.mean_tokens == 0.0 and probe.mean_anti_tokens == 0.0

@@ -1,0 +1,283 @@
+"""Unit tests for the dual join and eager fork (Figs. 4 and 6)."""
+
+import pytest
+
+from repro.elastic.behavioral import EagerFork, ElasticNetwork, Join, LazyFork
+from repro.elastic.crosscheck import ScriptedEnd
+
+
+def make_join(n=2):
+    net = ElasticNetwork("join")
+    ins = [net.add_channel(f"i{k}", monitor=False) for k in range(n)]
+    out = net.add_channel("z", monitor=False)
+    prods = [ScriptedEnd(f"p{k}", ch, "producer") for k, ch in enumerate(ins)]
+    cons = ScriptedEnd("c", out, "consumer")
+    join = Join("j", ins, out)
+    for p in prods:
+        net.add(p)
+    net.add(join)
+    net.add(cons)
+    return net, prods, join, cons
+
+
+def make_fork(n=2):
+    net = ElasticNetwork("fork")
+    inp = net.add_channel("i", monitor=False)
+    outs = [net.add_channel(f"o{k}", monitor=False) for k in range(n)]
+    prod = ScriptedEnd("p", inp, "producer")
+    conss = [ScriptedEnd(f"c{k}", ch, "consumer") for k, ch in enumerate(outs)]
+    fork = EagerFork("f", inp, outs)
+    net.add(prod)
+    net.add(fork)
+    for c in conss:
+        net.add(c)
+    return net, prod, fork, conss
+
+
+class TestJoinPositive:
+    def test_needs_all_inputs(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(1, 0, data="a")
+        prods[1].set(0, 1)
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["z"].vp == 0
+        assert net.channels["i0"].last_event.value == "R+"
+
+    def test_fires_when_complete(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(1, 0, data="a")
+        prods[1].set(1, 0, data="b")
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["z"].last_event.value == "+"
+        assert net.channels["z"].data == ("a", "b")
+        assert net.channels["i0"].last_event.value == "+"
+        assert net.channels["i1"].last_event.value == "+"
+
+    def test_stop_propagates_to_all_inputs(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(1, 0, data="a")
+        prods[1].set(1, 0, data="b")
+        cons.set(1, 0)
+        net.step()
+        assert net.channels["i0"].sp == 1 and net.channels["i1"].sp == 1
+
+    def test_custom_combine(self):
+        net = ElasticNetwork("j2")
+        a, b = net.add_channel("a", monitor=False), net.add_channel("b", monitor=False)
+        z = net.add_channel("z", monitor=False)
+        pa, pb = ScriptedEnd("pa", a, "producer"), ScriptedEnd("pb", b, "producer")
+        cz = ScriptedEnd("cz", z, "consumer")
+        for c in (pa, Join("j", [a, b], z, combine=lambda xs: xs[0] + xs[1]), pb, cz):
+            net.add(c)
+        pa.set(1, 0, data=2)
+        pb.set(1, 0, data=3)
+        cz.set(0, 0)
+        net.step()
+        assert z.data == 5
+
+    def test_single_input_join_requires_channel(self):
+        with pytest.raises(ValueError):
+            Join("j", [], None)
+
+
+class TestJoinAntiTokens:
+    def test_kill_at_output_consumes_inputs(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(1, 0, data="a")
+        prods[1].set(1, 0, data="b")
+        cons.set(0, 1)  # anti-token at the output
+        net.step()
+        assert net.channels["z"].last_event.value == "±"
+        # both inputs were consumed by the (killed) firing
+        assert net.channels["i0"].last_event.value == "+"
+
+    def test_anti_token_forked_to_all_inputs_same_cycle(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(1, 0, data="a")  # has a token -> kill
+        prods[1].set(0, 0)            # empty -> anti-token passes
+        cons.set(0, 1)
+        net.step()
+        assert net.channels["i0"].last_event.value == "±"
+        assert net.channels["i1"].last_event.value == "-"
+        assert join.apend == [0, 0]
+
+    def test_blocked_anti_token_stored_in_ff(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(0, 1)  # upstream refuses anti-tokens
+        prods[1].set(0, 0)
+        cons.set(0, 1)
+        net.step()
+        assert join.apend == [1, 0]
+
+    def test_b_gate_blocks_transfers_while_draining(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(0, 1)
+        prods[1].set(0, 0)
+        cons.set(0, 1)
+        net.step()  # apend[0] set
+        prods[0].set(1, 0, data="late")
+        prods[1].set(1, 0, data="ok")
+        cons.set(0, 0)
+        net.step()
+        # the pending anti-token kills the late token; no output transfer
+        assert net.channels["i0"].last_event.value == "±"
+        assert net.channels["z"].vp == 0
+        assert join.apend == [0, 0]
+
+    def test_second_anti_token_backpressured(self):
+        net, prods, join, cons = make_join()
+        prods[0].set(0, 1)
+        prods[1].set(0, 1)
+        cons.set(0, 1)
+        net.step()
+        assert join.apend == [1, 1]
+        net.step()  # second anti must wait: Retry-
+        assert net.channels["z"].last_event.value == "R-"
+
+
+class TestForkPositive:
+    def test_eager_branches_complete_independently(self):
+        net, prod, fork, conss = make_fork()
+        prod.set(1, 0, data="t")
+        conss[0].set(0, 0)
+        conss[1].set(1, 0)  # branch 1 stalls
+        net.step()
+        assert net.channels["o0"].last_event.value == "+"
+        assert net.channels["o1"].last_event.value == "R+"
+        assert fork.pend == [0, 1]
+        assert net.channels["i"].last_event.value == "R+"  # token not consumed
+
+    def test_no_duplicate_delivery_to_completed_branch(self):
+        net, prod, fork, conss = make_fork()
+        prod.set(1, 0, data="t")
+        conss[0].set(0, 0)
+        conss[1].set(1, 0)
+        net.step()
+        net.step()  # branch 0 already done: no new V+ for it
+        assert net.channels["o0"].vp == 0
+
+    def test_token_consumed_when_all_complete(self):
+        net, prod, fork, conss = make_fork()
+        prod.set(1, 0, data="t")
+        conss[0].set(0, 0)
+        conss[1].set(0, 0)
+        net.step()
+        assert net.channels["i"].last_event.value == "+"
+        assert fork.pend == [1, 1]
+
+    def test_branch_data_function(self):
+        net = ElasticNetwork("fbd")
+        i = net.add_channel("i", monitor=False)
+        o0, o1 = net.add_channel("o0", monitor=False), net.add_channel("o1", monitor=False)
+        p = ScriptedEnd("p", i, "producer")
+        c0, c1 = ScriptedEnd("c0", o0, "consumer"), ScriptedEnd("c1", o1, "consumer")
+        fork = EagerFork("f", i, [o0, o1], branch_data=lambda k, d: (k, d))
+        for x in (p, fork, c0, c1):
+            net.add(x)
+        p.set(1, 0, data="v")
+        c0.set(0, 0)
+        c1.set(0, 0)
+        net.step()
+        assert o0.data == (0, "v") and o1.data == (1, "v")
+
+
+class TestForkAntiTokens:
+    def test_branch_anti_kills_pending_copy(self):
+        net, prod, fork, conss = make_fork()
+        prod.set(1, 0, data="t")
+        conss[0].set(0, 1)  # anti on branch 0
+        conss[1].set(0, 0)
+        net.step()
+        assert net.channels["o0"].last_event.value == "±"
+        assert net.channels["o1"].last_event.value == "+"
+        assert net.channels["i"].last_event.value == "+"  # consumed
+
+    def test_anti_needs_all_branches_to_cross(self):
+        net, prod, fork, conss = make_fork()
+        prod.set(0, 0)
+        conss[0].set(0, 1)
+        conss[1].set(0, 0)
+        net.step()
+        assert net.channels["i"].vn == 0
+        assert net.channels["o0"].last_event.value == "R-"
+
+    def test_anti_crosses_when_all_present(self):
+        net, prod, fork, conss = make_fork()
+        prod.set(0, 0)
+        conss[0].set(0, 1)
+        conss[1].set(0, 1)
+        net.step()
+        assert net.channels["i"].last_event.value == "-"
+        assert net.channels["o0"].last_event.value == "-"
+        assert net.channels["o1"].last_event.value == "-"
+
+    def test_anti_blocked_by_upstream(self):
+        # The whole wave retries: V- is asserted (the wave is present
+        # and aligned to a fresh token boundary) but S- blocks it, so
+        # the input channel and every branch show Retry-.  Persistence
+        # holds because the wave can only leave by moving or by
+        # annihilating an arriving token, never by withdrawal.
+        net, prod, fork, conss = make_fork()
+        prod.set(0, 1)  # upstream stops anti-tokens
+        conss[0].set(0, 1)
+        conss[1].set(0, 1)
+        net.step()
+        assert net.channels["i"].last_event.value == "R-"
+        assert net.channels["o0"].last_event.value == "R-"
+        assert net.channels["o1"].last_event.value == "R-"
+        # ... and the wave persists, then moves when S- drops.
+        prod.set(0, 0)
+        net.step()
+        assert net.channels["i"].last_event.value == "-"
+
+    def test_wave_annihilates_arriving_token(self):
+        """Retry- discharged by a kill: token meets the full wave."""
+        net, prod, fork, conss = make_fork()
+        prod.set(0, 1)
+        conss[0].set(0, 1)
+        conss[1].set(0, 1)
+        net.step()
+        assert net.channels["i"].last_event.value == "R-"
+        prod.set(1, 0, data="doomed")
+        net.step()
+        assert net.channels["i"].last_event.value == "±"
+        assert net.channels["o0"].last_event.value == "±"
+        assert fork.pend == [1, 1]
+
+    def test_wave_waits_for_fresh_boundary(self):
+        """A half-delivered token blocks the anti wave (state gate)."""
+        net, prod, fork, conss = make_fork()
+        prod.set(1, 0, data="t")
+        conss[0].set(0, 0)  # branch 0 takes its copy
+        conss[1].set(1, 0)  # branch 1 stalls
+        net.step()
+        assert fork.pend == [0, 1]
+        prod.set(1, 0, data="t")  # retried token still in flight
+        conss[0].set(0, 1)  # now branch 0 offers an anti (next token)
+        conss[1].set(0, 0)  # branch 1 finally accepts its copy
+        net.step()
+        assert net.channels["i"].vn == 0  # wave gated off mid-token
+        assert net.channels["o0"].last_event.value == "R-"
+        assert net.channels["i"].last_event.value == "+"  # token done
+
+
+class TestLazyFork:
+    def test_all_or_nothing(self):
+        net = ElasticNetwork("lf")
+        i = net.add_channel("i", monitor=False)
+        o0, o1 = net.add_channel("o0", monitor=False), net.add_channel("o1", monitor=False)
+        p = ScriptedEnd("p", i, "producer")
+        c0, c1 = ScriptedEnd("c0", o0, "consumer"), ScriptedEnd("c1", o1, "consumer")
+        for x in (p, LazyFork("f", i, [o0, o1]), c0, c1):
+            net.add(x)
+        p.set(1, 0, data="t")
+        c0.set(0, 0)
+        c1.set(1, 0)
+        net.step()
+        assert o0.vp == 0  # sibling stalled -> no transfer anywhere
+        assert net.channels["i"].last_event.value == "R+"
+        c1.set(0, 0)
+        net.step()
+        assert net.channels["i"].last_event.value == "+"

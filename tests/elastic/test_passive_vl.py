@@ -1,0 +1,200 @@
+"""Unit tests for the passive anti-token interface and the VL controller."""
+
+import random
+
+import pytest
+
+from repro.elastic.behavioral import (
+    ElasticNetwork,
+    PassiveAntiToken,
+    Pipe,
+    VariableLatency,
+)
+from repro.elastic.crosscheck import ScriptedEnd
+
+
+def make_passive():
+    net = ElasticNetwork("pas")
+    up = net.add_channel("up", monitor=False)
+    down = net.add_channel("down", monitor=False)
+    prod = ScriptedEnd("p", up, "producer")
+    cons = ScriptedEnd("c", down, "consumer")
+    net.add(prod)
+    net.add(PassiveAntiToken("pas", up, down))
+    net.add(cons)
+    return net, prod, cons
+
+
+def make_vl(latency, seed=0):
+    net = ElasticNetwork("vl")
+    left = net.add_channel("l", monitor=False)
+    right = net.add_channel("r", monitor=False)
+    prod = ScriptedEnd("p", left, "producer")
+    cons = ScriptedEnd("c", right, "consumer")
+    vl = VariableLatency("vl", left, right, latency=latency, rng=random.Random(seed))
+    net.add(prod)
+    net.add(vl)
+    net.add(cons)
+    return net, prod, vl, cons
+
+
+class TestPassiveInterface:
+    def test_transparent_forward(self):
+        net, prod, cons = make_passive()
+        prod.set(1, 0, data="t")
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["down"].last_event.value == "+"
+        assert net.channels["down"].data == "t"
+
+    def test_kill_looks_like_transfer_upstream(self):
+        net, prod, cons = make_passive()
+        prod.set(1, 0, data="t")
+        cons.set(0, 1)
+        net.step()
+        assert net.channels["down"].last_event.value == "±"
+        assert net.channels["up"].last_event.value == "+"
+
+    def test_anti_token_waits_passively(self):
+        net, prod, cons = make_passive()
+        prod.set(0, 0)
+        cons.set(0, 1)
+        net.step()
+        assert net.channels["down"].last_event.value == "R-"
+        assert net.channels["up"].vn == 0  # never leaks upstream
+
+    def test_stop_passes_backward(self):
+        net, prod, cons = make_passive()
+        prod.set(1, 0, data="t")
+        cons.set(1, 0)
+        net.step()
+        assert net.channels["up"].last_event.value == "R+"
+
+    def test_inverter_rule(self):
+        """S− = not V+ (the Fig. 7(a) inverter)."""
+        net, prod, cons = make_passive()
+        prod.set(0, 0)
+        cons.set(0, 0)
+        net.step()
+        assert net.channels["down"].sn == 1
+        prod.set(1, 0, data="t")
+        net.step()
+        assert net.channels["down"].sn == 0
+
+
+class TestVariableLatency:
+    def test_fixed_latency_visible_after_n_cycles(self):
+        net, prod, vl, cons = make_vl(lambda rng: 3)
+        prod.set(1, 0, data="op")
+        cons.set(0, 0)
+        net.step()  # accepted (go)
+        prod.set(0, 0)
+        seen = []
+        for _ in range(4):
+            net.step()
+            seen.append(net.channels["r"].last_event.value)
+        assert seen.index("+") == 2  # done after 3 cycles total
+
+    def test_result_function_applied(self):
+        net, prod, vl, cons = make_vl(lambda rng: 1)
+        vl.func = lambda x: x * 2
+        prod.set(1, 0, data=21)
+        cons.set(0, 0)
+        net.step()
+        prod.set(0, 0)
+        net.step()
+        assert net.channels["r"].data == 42
+
+    def test_input_blocked_while_busy(self):
+        net, prod, vl, cons = make_vl(lambda rng: 4)
+        prod.set(1, 0, data="a")
+        cons.set(0, 0)
+        net.step()
+        prod.set(1, 0, data="b")
+        net.step()
+        assert net.channels["l"].last_event.value == "R+"
+
+    def test_back_to_back_accept_on_release(self):
+        net, prod, vl, cons = make_vl(lambda rng: 1)
+        prod.set(1, 0, data="a")
+        cons.set(0, 0)
+        net.step()
+        prod.set(1, 0, data="b")
+        net.step()  # result of a departs; b accepted the same cycle
+        assert net.channels["r"].last_event.value == "+"
+        assert net.channels["l"].last_event.value == "+"
+
+    def test_result_killed_at_output(self):
+        net, prod, vl, cons = make_vl(lambda rng: 1)
+        prod.set(1, 0, data="a")
+        cons.set(0, 0)
+        net.step()
+        prod.set(0, 0)
+        cons.set(0, 1)
+        net.step()
+        assert net.channels["r"].last_event.value == "±"
+        assert vl.state == vl.IDLE
+
+    def test_busy_computation_preempted_by_anti_token(self):
+        net, prod, vl, cons = make_vl(lambda rng: 10)
+        prod.set(1, 0, data="slow")
+        cons.set(0, 0)
+        net.step()
+        assert vl.state == vl.BUSY
+        prod.set(0, 0)
+        cons.set(0, 1)
+        net.step()
+        assert vl.state == vl.IDLE
+        assert vl.aborted == 1
+        assert net.channels["r"].last_event.value == "-"
+
+    def test_anti_token_passes_through_idle_unit(self):
+        net, prod, vl, cons = make_vl(lambda rng: 2)
+        prod.set(0, 0)
+        cons.set(0, 1)
+        net.step()
+        assert net.channels["l"].last_event.value == "-"
+        assert net.channels["r"].last_event.value == "-"
+
+    def test_kill_on_input_channel_before_entry(self):
+        net, prod, vl, cons = make_vl(lambda rng: 2)
+        prod.set(1, 0, data="doomed")
+        cons.set(0, 1)
+        net.step()
+        assert net.channels["l"].last_event.value == "±"
+        assert vl.state == vl.IDLE
+
+    def test_zero_latency_rejected(self):
+        net, prod, vl, cons = make_vl(lambda rng: 0)
+        prod.set(1, 0, data="x")
+        cons.set(0, 0)
+        with pytest.raises(ValueError):
+            net.step()
+
+    def test_go_done_counters(self):
+        net, prod, vl, cons = make_vl(lambda rng: 1)
+        cons.set(0, 0)
+        for k in range(6):
+            prod.set(1, 0, data=k)
+            net.step()
+        assert vl.go_count >= 2
+        assert vl.done_count == vl.go_count or vl.done_count == vl.go_count - 1
+
+
+class TestPipe:
+    def test_control_transparent_data_transformed(self):
+        net = ElasticNetwork("pipe")
+        l = net.add_channel("l", monitor=False)
+        r = net.add_channel("r", monitor=False)
+        p = ScriptedEnd("p", l, "producer")
+        c = ScriptedEnd("c", r, "consumer")
+        net.add(p)
+        net.add(Pipe("f", l, r, func=lambda x: x + 1))
+        net.add(c)
+        p.set(1, 0, data=1)
+        c.set(0, 0)
+        net.step()
+        assert r.data == 2
+        c.set(0, 1)
+        net.step()
+        assert net.channels["l"].last_event.value == "±"

@@ -1,0 +1,116 @@
+"""Tests for the SELF protocol layer (Sect. 3 and 4)."""
+
+import pytest
+
+from repro.elastic.protocol import (
+    ChannelState,
+    DualChannelEvent,
+    ProtocolMonitor,
+    ProtocolViolation,
+    classify,
+    classify_dual,
+    invariant_holds,
+)
+
+
+class TestClassify:
+    def test_transfer(self):
+        assert classify(1, 0) is ChannelState.TRANSFER
+
+    def test_idle(self):
+        assert classify(0, 0) is ChannelState.IDLE
+        assert classify(0, 1) is ChannelState.IDLE
+
+    def test_retry(self):
+        assert classify(1, 1) is ChannelState.RETRY
+
+
+class TestInvariant:
+    @pytest.mark.parametrize(
+        "wires,ok",
+        [
+            ((0, 0, 0, 0), True),
+            ((1, 1, 0, 0), True),
+            ((0, 0, 1, 0), True),
+            ((1, 0, 1, 0), True),   # kill
+            ((0, 1, 1, 0), False),  # V- & S+
+            ((1, 0, 0, 1), False),  # V+ & S-
+        ],
+    )
+    def test_cases(self, wires, ok):
+        assert invariant_holds(*wires) is ok
+
+
+class TestClassifyDual:
+    def test_positive_transfer(self):
+        assert classify_dual(1, 0, 0, 0) is DualChannelEvent.POSITIVE_TRANSFER
+
+    def test_negative_transfer(self):
+        assert classify_dual(0, 0, 1, 0) is DualChannelEvent.NEGATIVE_TRANSFER
+
+    def test_kill(self):
+        assert classify_dual(1, 0, 1, 0) is DualChannelEvent.KILL
+
+    def test_retries(self):
+        assert classify_dual(1, 1, 0, 0) is DualChannelEvent.RETRY_POS
+        assert classify_dual(0, 0, 1, 1) is DualChannelEvent.RETRY_NEG
+
+    def test_idle(self):
+        assert classify_dual(0, 1, 0, 1) is DualChannelEvent.IDLE
+
+    def test_invariant_violation_raises(self):
+        with pytest.raises(ProtocolViolation):
+            classify_dual(1, 0, 0, 1)
+
+
+class TestMonitor:
+    def test_accepts_iirt_language(self):
+        mon = ProtocolMonitor("ch")
+        trace = [(0, 0), (0, 1), (1, 1), (1, 1), (1, 0), (0, 0), (1, 0)]
+        for vp, sp in trace:
+            mon.observe(vp, sp, 0, 0, data="d" if vp else None)
+        assert mon.language_ok()
+
+    def test_dropping_valid_during_retry_raises(self):
+        mon = ProtocolMonitor("ch")
+        mon.observe(1, 1, 0, 0, data="a")
+        with pytest.raises(ProtocolViolation):
+            mon.observe(0, 0, 0, 0)
+
+    def test_changing_data_during_retry_raises(self):
+        mon = ProtocolMonitor("ch")
+        mon.observe(1, 1, 0, 0, data="a")
+        with pytest.raises(ProtocolViolation):
+            mon.observe(1, 1, 0, 0, data="b")
+
+    def test_data_check_can_be_disabled(self):
+        mon = ProtocolMonitor("ch", check_data=False)
+        mon.observe(1, 1, 0, 0, data="a")
+        mon.observe(1, 0, 0, 0, data="b")  # no raise
+
+    def test_anti_token_persistence(self):
+        mon = ProtocolMonitor("ch")
+        mon.observe(0, 0, 1, 1)  # Retry-
+        with pytest.raises(ProtocolViolation):
+            mon.observe(0, 0, 0, 0)
+
+    def test_kill_discharges_retry(self):
+        mon = ProtocolMonitor("ch")
+        mon.observe(1, 1, 0, 0, data="a")
+        mon.observe(1, 0, 1, 0, data="a")  # killed
+        mon.observe(0, 0, 0, 0)  # idle fine now
+
+    def test_throughput_counts_moving_events(self):
+        mon = ProtocolMonitor("ch")
+        mon.observe(1, 0, 0, 0, data=1)   # +
+        mon.observe(0, 0, 1, 0)           # -
+        mon.observe(1, 0, 1, 0, data=2)   # kill
+        mon.observe(0, 0, 0, 0)           # idle
+        assert mon.throughput() == pytest.approx(0.75)
+
+    def test_language_ok_detects_bad_history(self):
+        mon = ProtocolMonitor("ch")
+        mon.history.extend(
+            [DualChannelEvent.RETRY_POS, DualChannelEvent.IDLE]
+        )
+        assert not mon.language_ok()

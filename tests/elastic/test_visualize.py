@@ -1,0 +1,63 @@
+"""Tests for the ASCII waveform renderer."""
+
+import random
+
+import pytest
+
+from repro.elastic.behavioral import ElasticBuffer, ElasticNetwork, Sink, Source
+from repro.elastic.visualize import channel_waveform, event_summary, render_waveforms
+
+
+@pytest.fixture
+def net():
+    net = ElasticNetwork("wave")
+    a, b = net.add_channel("a"), net.add_channel("b")
+    net.add(Source("p", a, p_valid=0.6, rng=random.Random(1)))
+    net.add(ElasticBuffer("eb", a, b))
+    net.add(Sink("c", b, p_stop=0.3, p_kill=0.2, rng=random.Random(2)))
+    net.run(50)
+    return net
+
+
+class TestChannelWaveform:
+    def test_length_matches_cycles(self, net):
+        assert len(channel_waveform(net.channels["a"])) == 50
+
+    def test_last_trims(self, net):
+        assert len(channel_waveform(net.channels["a"], last=10)) == 10
+
+    def test_glyphs_legal(self, net):
+        wave = channel_waveform(net.channels["b"])
+        assert set(wave) <= set("+-±Rr.")
+        assert "+" in wave
+
+    def test_unmonitored_channel_rejected(self):
+        net = ElasticNetwork("x")
+        ch = net.add_channel("c", monitor=False)
+        with pytest.raises(ValueError):
+            channel_waveform(ch)
+
+
+class TestRender:
+    def test_all_channels_listed(self, net):
+        text = render_waveforms(net)
+        assert "a " in text and "b " in text and "cycle" in text
+
+    def test_channel_selection(self, net):
+        text = render_waveforms(net, channels=["b"])
+        assert "\nb" in text and "\na" not in text
+
+    def test_window_header(self, net):
+        text = render_waveforms(net, last=10)
+        assert "40..49" in text
+
+
+class TestSummary:
+    def test_counts_add_up(self, net):
+        text = event_summary(net)
+        assert "50 cycles" in text and "2 channels" in text
+        # sum of all glyph counts = cycles x channels
+        counts = dict(
+            part.split(":") for part in text.split("|")[1].split()
+        )
+        assert sum(int(v) for v in counts.values()) == 100

@@ -1,0 +1,129 @@
+"""Tests for netlist construction and structural queries."""
+
+import pytest
+
+from repro.rtl.netlist import FlipFlop, Gate, Latch, Netlist, Phase
+
+
+class TestGateValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("q", "XNOR", ("a", "b"))
+
+    def test_not_takes_one_input(self):
+        with pytest.raises(ValueError):
+            Gate("q", "NOT", ("a", "b"))
+
+    def test_mux_takes_three(self):
+        with pytest.raises(ValueError):
+            Gate("q", "MUX", ("a", "b"))
+
+    def test_const_takes_none(self):
+        with pytest.raises(ValueError):
+            Gate("q", "CONST0", ("a",))
+
+
+class TestBuilders:
+    def test_fresh_names_unique(self):
+        nl = Netlist()
+        assert nl.fresh() != nl.fresh()
+
+    def test_single_driver_enforced(self):
+        nl = Netlist()
+        nl.AND("a", "b", out="q")
+        with pytest.raises(ValueError):
+            nl.OR("c", out="q")
+
+    def test_input_conflicts_with_gate(self):
+        nl = Netlist()
+        nl.add_input("x")
+        with pytest.raises(ValueError):
+            nl.NOT("a", out="x")
+
+    def test_all_cell_builders(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        for sig in (
+            nl.AND(a, b), nl.OR(a, b), nl.NOT(a), nl.NAND(a, b),
+            nl.NOR(a, b), nl.XOR(a, b), nl.MUX(a, b, b), nl.BUF(a),
+            nl.const0(), nl.const1(),
+        ):
+            assert sig in nl.gates
+
+    def test_latch_and_flop(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        q1 = nl.add_latch(d, Phase.HIGH)
+        q2 = nl.add_flop(d, init=1)
+        assert nl.latches[q1].phase is Phase.HIGH
+        assert nl.flops[q2].init == 1
+
+    def test_outputs_deduplicated(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_output("a")
+        nl.add_output("a")
+        assert nl.outputs == ["a"]
+
+
+class TestQueries:
+    def test_signals_cover_all_drivers(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.NOT(a)
+        l = nl.add_latch(a, Phase.LOW)
+        f = nl.add_flop(a)
+        assert {a, g, l, f} <= nl.signals()
+
+    def test_fanin(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g = nl.AND(a, b)
+        assert nl.fanin(g) == (a, b)
+        assert nl.fanin(a) == ()
+
+    def test_driver_of(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.NOT(a)
+        assert isinstance(nl.driver_of(g), Gate)
+        assert nl.driver_of(a) is None
+
+    def test_undriven_detection(self):
+        nl = Netlist()
+        nl.NOT("ghost", out="q")
+        assert nl.undriven() == {"ghost"}
+        with pytest.raises(ValueError):
+            nl.validate()
+
+    def test_stats(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.NOT(a)
+        nl.add_latch(a, Phase.HIGH)
+        s = nl.stats()
+        assert s == {"inputs": 1, "gates": 1, "latches": 1, "flops": 0}
+
+
+class TestMerge:
+    def test_merge_with_prefix(self):
+        inner = Netlist("inner")
+        x = inner.add_input("x")
+        inner.NOT(x, out="y")
+        outer = Netlist("outer")
+        outer.add_input("sub.x")
+        rename = outer.merge(inner, prefix="sub.")
+        assert rename["y"] == "sub.y"
+        assert "sub.y" in outer.gates
+        outer.validate()
+
+    def test_merge_conflict_raises(self):
+        inner = Netlist()
+        inner.add_input("x")
+        inner.NOT("x", out="y")
+        outer = Netlist()
+        outer.add_input("y")
+        with pytest.raises(ValueError):
+            outer.merge(inner)

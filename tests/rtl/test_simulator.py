@@ -1,0 +1,163 @@
+"""Tests for the two-phase netlist simulator."""
+
+import pytest
+
+from repro.rtl.logic import X
+from repro.rtl.netlist import Netlist, Phase
+from repro.rtl.simulator import CombinationalCycleError, TwoPhaseSimulator
+
+
+class TestCombinational:
+    def test_gates_evaluate(self):
+        nl = Netlist()
+        a, b = nl.add_input("a"), nl.add_input("b")
+        q = nl.AND(a, nl.NOT(b))
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({"a": 1, "b": 0})[q] == 1
+        assert sim.cycle({"a": 1, "b": 1})[q] == 0
+
+    def test_deep_chain(self):
+        nl = Netlist()
+        sig = nl.add_input("a")
+        for _ in range(64):
+            sig = nl.NOT(sig)
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({"a": 1})[sig] == 1
+
+    def test_unknown_input_propagates(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        q = nl.NOT(a)
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({})[q] is X
+
+    def test_x_blocked_by_controlling_value(self):
+        nl = Netlist()
+        a, b = nl.add_input("a"), nl.add_input("b")
+        q = nl.AND(a, b)
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({"a": 0})[q] == 0
+
+    def test_mux_and_xor(self):
+        nl = Netlist()
+        s, a, b = (nl.add_input(n) for n in "sab")
+        m = nl.MUX(s, a, b)
+        x = nl.XOR(a, b)
+        sim = TwoPhaseSimulator(nl)
+        vals = sim.cycle({"s": 1, "a": 1, "b": 0})
+        assert vals[m] == 1 and vals[x] == 1
+
+    def test_constants(self):
+        nl = Netlist()
+        c0, c1 = nl.const0(), nl.const1()
+        sim = TwoPhaseSimulator(nl)
+        vals = sim.cycle({})
+        assert vals[c0] == 0 and vals[c1] == 1
+
+
+class TestSequential:
+    def test_flop_delays_one_cycle(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        q = nl.add_flop(d, init=0)
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({"d": 1})[q] == 0
+        assert sim.cycle({"d": 0})[q] == 1
+        assert sim.cycle({"d": 0})[q] == 0
+
+    def test_flop_init_value(self):
+        nl = Netlist()
+        q = nl.add_flop(nl.add_input("d"), init=1)
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({"d": 0})[q] == 1
+
+    def test_master_slave_latches_behave_like_flop(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        master = nl.add_latch(d, Phase.LOW, init=0)
+        slave = nl.add_latch(master, Phase.HIGH, init=0)
+        flop = nl.add_flop(d, init=0)
+        sim = TwoPhaseSimulator(nl)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(30):
+            vals = sim.cycle({"d": rng.randint(0, 1)})
+            assert vals[slave] == vals[flop]
+
+    def test_transparent_high_latch_follows_input_same_cycle(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        q = nl.add_latch(d, Phase.HIGH, init=0)
+        sim = TwoPhaseSimulator(nl)
+        # The HIGH latch captures during the high phase; at the end of
+        # the cycle its output equals this cycle's input.
+        assert sim.cycle({"d": 1})[q] == 1
+
+    def test_low_latch_is_transparent_in_second_phase(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        q = nl.add_latch(d, Phase.LOW, init=0)
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({"d": 1})[q] == 1
+
+    def test_counter(self):
+        nl = Netlist()
+        q = nl.add_flop("next", init=0)
+        nl.NOT(q, out="next")
+        sim = TwoPhaseSimulator(nl)
+        values = [sim.cycle({})[q] for _ in range(4)]
+        assert values == [0, 1, 0, 1]
+
+    def test_reset_restores_init(self):
+        nl = Netlist()
+        q = nl.add_flop("next", init=0)
+        nl.NOT(q, out="next")
+        sim = TwoPhaseSimulator(nl)
+        sim.cycle({})
+        sim.cycle({})
+        sim.reset()
+        assert sim.cycle({})[q] == 0
+
+    def test_step_function_is_pure(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        nl.add_flop(d, q="q", init=0)
+        sim = TwoPhaseSimulator(nl)
+        state = sim.initial_state()
+        _, nxt = sim.step_function(state, {"d": 1})
+        assert state["q"] == 0  # unchanged
+        assert nxt["q"] == 1
+
+
+class TestCycles:
+    def test_ring_oscillator_stays_x(self):
+        nl = Netlist()
+        nl.NOT("q", out="q2")
+        nl.BUF("q2", out="q")
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({})["q"] is X
+
+    def test_strict_mode_raises_on_unresolved(self):
+        nl = Netlist()
+        nl.NOT("q", out="q2")
+        nl.BUF("q2", out="q")
+        sim = TwoPhaseSimulator(nl, strict_x=True)
+        with pytest.raises(CombinationalCycleError):
+            sim.cycle({})
+
+    def test_self_stabilising_cycle_resolves(self):
+        # q = a OR q: with a=1 the least fixed point is q=X... ternary
+        # simulation cannot assume the feedback; but q = a AND q with
+        # a=0 resolves to 0.
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.AND(a, "q", out="q")
+        sim = TwoPhaseSimulator(nl)
+        assert sim.cycle({"a": 0})["q"] == 0
+
+    def test_validate_runs_at_construction(self):
+        nl = Netlist()
+        nl.NOT("missing", out="q")
+        with pytest.raises(ValueError):
+            TwoPhaseSimulator(nl)

@@ -1,0 +1,60 @@
+"""Tests for the DOT exports (DMG diagrams and control-layer diagrams)."""
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.core.dmg import fig1_dmg
+from repro.core.export import to_dot
+from repro.synthesis.dot import spec_to_dot
+
+
+class TestDmgDot:
+    def test_valid_digraph(self):
+        dot = to_dot(fig1_dmg())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_early_nodes_boxed(self):
+        dot = to_dot(fig1_dmg())
+        assert '"n1" [shape=box' in dot
+        assert '"n2" [shape=ellipse' in dot
+
+    def test_tokens_rendered(self):
+        dot = to_dot(fig1_dmg())
+        assert "●" in dot
+
+    def test_antitokens_rendered_red(self):
+        g = fig1_dmg()
+        m = g.initial_marking
+        for node in ("n2", "n1", "n7"):
+            m = g.fire_any(node, m)
+        dot = to_dot(g, m)
+        assert "○" in dot and "color=red" in dot
+
+    def test_large_counts_abbreviated(self):
+        g = fig1_dmg()
+        m = g.initial_marking
+        m["n1->n2"] = 7
+        dot = to_dot(g, m)
+        assert "(7)" in dot
+
+
+class TestSpecDot:
+    def test_fig9_renders_all_components(self):
+        dot = spec_to_dot(build_fig9_spec(Config.ACTIVE))
+        assert '"EB_F1"' in dot
+        assert "EJ W" in dot
+        assert "VL M1" in dot
+        assert "(src)" in dot and "(sink)" in dot
+
+    def test_initial_tokens_shown(self):
+        dot = spec_to_dot(build_fig9_spec(Config.ACTIVE))
+        assert "EB EB_W1 ●" in dot
+
+    def test_counterflow_arcs_optional(self):
+        with_cf = spec_to_dot(build_fig9_spec(Config.ACTIVE), show_counterflow=True)
+        without = spec_to_dot(build_fig9_spec(Config.ACTIVE), show_counterflow=False)
+        assert with_cf.count("dashed") > 0
+        assert without.count("dashed") == 0
+
+    def test_passive_connection_styled(self):
+        dot = spec_to_dot(build_fig9_spec(Config.PASSIVE_F3W))
+        assert "style=bold" in dot

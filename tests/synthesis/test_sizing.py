@@ -1,0 +1,149 @@
+"""Tests for buffer insertion, critical cycles and slack matching."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.casestudy.fig9 import Config, build_fig9_spec
+from repro.core.performance import fixed_latency
+from repro.synthesis.elaborate import to_behavioral
+from repro.synthesis.sizing import (
+    critical_cycles,
+    insert_buffer,
+    optimize_buffers,
+    sweep_buffer_depth,
+)
+from repro.synthesis.spec import SystemSpec
+
+
+def two_path_spec():
+    """A join of a short path and a long (3-stage) path: unbalanced.
+
+    The short path starves the join while the long path drains: classic
+    slack mismatch that one buffer on the short path repairs.
+    """
+    spec = SystemSpec("twopath")
+    spec.add_source("P")
+    spec.add_sink("C")
+    spec.add_block("FK", n_inputs=1, n_outputs=2)
+    spec.add_block("JN", n_inputs=2, n_outputs=1)
+    spec.add_register("A1")
+    for r in ("B1", "B2", "B3"):
+        spec.add_register(r)
+    spec.connect(spec.source("P"), spec.block_in("FK"), name="in")
+    spec.connect(spec.block_out("FK", 0), spec.register_in("A1"), name="short0")
+    spec.connect(spec.register_out("A1"), spec.block_in("JN", 0), name="short1")
+    spec.connect(spec.block_out("FK", 1), spec.register_in("B1"), name="long0")
+    spec.connect(spec.register_out("B1"), spec.register_in("B2"), name="long1")
+    spec.connect(spec.register_out("B2"), spec.register_in("B3"), name="long2")
+    spec.connect(spec.register_out("B3"), spec.block_in("JN", 1), name="long3")
+    spec.connect(spec.block_out("JN"), spec.sink("C"), name="out")
+    spec.validate()
+    return spec
+
+
+class TestInsertBuffer:
+    def test_splice_preserves_validity(self):
+        spec = two_path_spec()
+        reg = insert_buffer(spec, "short1")
+        assert reg in spec.registers
+        spec.validate()
+
+    def test_spliced_network_simulates(self):
+        spec = two_path_spec()
+        insert_buffer(spec, "short1")
+        net = to_behavioral(spec, seed=1)
+        net.run(300)
+        assert net.throughput("in") > 0.3
+
+    def test_unique_names_on_repeat(self):
+        spec = two_path_spec()
+        r1 = insert_buffer(spec, "short1")
+        r2 = insert_buffer(spec, f"{r1}->out")
+        assert r1 != r2
+
+    def test_data_bits_inherited(self):
+        spec = build_fig9_spec(Config.ACTIVE)
+        reg = insert_buffer(spec, "C->W")
+        assert spec.connection(f"{reg}->out").data_bits == 2
+
+    def test_functional_correctness_preserved(self):
+        """Re-pipelining never breaks function: the join still pairs
+        matching tokens after arbitrary buffer insertion."""
+        spec = two_path_spec()
+        spec.sources["P"].data_fn = lambda n: n
+        insert_buffer(spec, "short1")
+        insert_buffer(spec, "long2")
+        net = to_behavioral(spec, seed=2)
+        sink = next(c for c in net.controllers if c.name == "C")
+        net.run(400)
+        assert len(sink.received) > 50
+        assert all(a == b for a, b in sink.received)
+
+
+class TestCriticalCycles:
+    def test_fig9_bottleneck_is_m_path(self):
+        cycles = critical_cycles(
+            build_fig9_spec(Config.LAZY), mean_latency={"M1": 3.6, "M2": 1.5}
+        )
+        ratio, arcs = cycles[0]
+        assert ratio == Fraction(1, 4)
+        assert any("M1->M2" in a for a in arcs)
+
+    def test_sorted_ascending(self):
+        cycles = critical_cycles(build_fig9_spec(Config.LAZY), top=5)
+        ratios = [r for r, _ in cycles]
+        assert ratios == sorted(ratios)
+
+    def test_top_limits_output(self):
+        assert len(critical_cycles(build_fig9_spec(Config.LAZY), top=2)) == 2
+
+
+class TestSweep:
+    def test_depth_zero_is_baseline(self):
+        results = sweep_buffer_depth(
+            two_path_spec, "short1", probe="in", depths=(0, 1), cycles=1500
+        )
+        assert set(results) == {0, 1}
+        assert all(0 < v <= 1 for v in results.values())
+
+
+class TestOptimize:
+    def test_greedy_fixes_slack_mismatch(self):
+        spec = two_path_spec()
+        optimized, result = optimize_buffers(
+            spec,
+            candidates=["short0", "short1"],
+            probe="in",
+            budget=2,
+            cycles=1500,
+        )
+        assert result.final_throughput > result.base_throughput + 0.02
+        assert len(result.steps) >= 1
+        assert all(step.register.startswith("EB@") for step in result.steps)
+        assert "base Th" in str(result)
+
+    def test_input_spec_untouched(self):
+        spec = two_path_spec()
+        n_regs = len(spec.registers)
+        optimize_buffers(spec, ["short1"], probe="in", budget=1, cycles=800)
+        assert len(spec.registers) == n_regs
+
+    def test_budget_respected(self):
+        spec = two_path_spec()
+        _, result = optimize_buffers(
+            spec, ["short0", "short1"], probe="in", budget=1, cycles=800
+        )
+        assert len(result.steps) <= 1
+
+    def test_no_gain_stops_early(self):
+        """A balanced pipeline gains nothing from more buffers."""
+        spec = SystemSpec("bal")
+        spec.add_source("P")
+        spec.add_sink("C")
+        spec.add_register("R")
+        spec.connect(spec.source("P"), spec.register_in("R"), name="a")
+        spec.connect(spec.register_out("R"), spec.sink("C"), name="b")
+        _, result = optimize_buffers(spec, ["a", "b"], probe="a",
+                                     budget=3, cycles=800)
+        assert result.steps == []

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_config_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--config", "bogus", "--cycles", "10"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--cycles", "300", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Active anti-tokens" in out and "No early evaluation" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--config", "lazy", "--cycles", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "system throughput" in out
+        assert "F2->F3" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "--design", "early"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_export_verilog_stdout(self, capsys):
+        assert main(["export", "--format", "verilog", "--config", "lazy"]) == 0
+        assert "endmodule" in capsys.readouterr().out
+
+    def test_export_blif_to_file(self, tmp_path, capsys):
+        out = tmp_path / "x.blif"
+        assert main(["export", "--format", "blif", "-o", str(out)]) == 0
+        assert out.read_text().startswith(".model")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_export_smv(self, capsys):
+        assert main(["export", "--format", "smv", "--config", "active"]) == 0
+        out = capsys.readouterr().out
+        assert "MODULE main" in out and "SPEC" in out
+
+    def test_export_dot(self, capsys):
+        assert main(["export", "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_bound(self, capsys):
+        assert main(["bound", "--config", "lazy"]) == 0
+        out = capsys.readouterr().out
+        assert "structurally live: True" in out
+        assert "cycle ratio" in out
+
+    def test_dmg(self, capsys):
+        assert main(["dmg"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out and "○" in out

@@ -1,0 +1,48 @@
+"""Every example script must run end-to-end (they assert internally)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "in order: True" in out
+
+
+def test_dmg_playground(capsys):
+    out = _run("dmg_playground.py", capsys)
+    assert "liveness: True" in out
+    assert "early throughput" in out
+
+
+def test_exception_flush(capsys):
+    out = _run("exception_flush.py", capsys)
+    assert "wrong-path instructions cancelled" in out
+
+
+@pytest.mark.slow
+def test_variable_latency_alu(capsys):
+    out = _run("variable_latency_alu.py", capsys)
+    assert "mul ratio" in out
+
+
+@pytest.mark.slow
+def test_elastic_processor(capsys):
+    out = _run("elastic_processor.py", capsys)
+    assert "commit stream strictly in order" in out
+
+
+@pytest.mark.slow
+def test_fig9_case_study(capsys):
+    out = _run("fig9_case_study.py", capsys)
+    assert "early evaluation speed-up" in out

@@ -1,0 +1,152 @@
+"""Tests for the CTL model checker, including fairness."""
+
+import pytest
+
+from repro.verif.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    AP,
+    And,
+    Implies,
+    ModelChecker,
+    Not,
+    Or,
+    TrueF,
+    check,
+)
+from repro.verif.kripke import KripkeStructure
+
+
+def diamond():
+    """s0 -> {s1, s2}; s1 -> s3; s2 -> s3; s3 -> s3.  p holds in s1, s3."""
+    return KripkeStructure(
+        signals=["p", "q"],
+        labels=[(0, 0), (1, 0), (0, 1), (1, 1)],
+        successors=[[1, 2], [3], [3], [3]],
+        initial=[0],
+    )
+
+
+def two_loops():
+    """s0 -> s0 and s0 -> s1 -> s1.  p holds only in s1."""
+    return KripkeStructure(
+        signals=["p"],
+        labels=[(0,), (1,)],
+        successors=[[0, 1], [1]],
+        initial=[0],
+    )
+
+
+class TestBoolean:
+    def test_ap_and_value(self):
+        k = diamond()
+        mc = ModelChecker(k)
+        assert mc.sat(AP("p")) == frozenset({1, 3})
+        assert mc.sat(AP("p", 0)) == frozenset({0, 2})
+
+    def test_not_and_or_implies(self):
+        mc = ModelChecker(diamond())
+        assert mc.sat(Not(AP("p"))) == frozenset({0, 2})
+        assert mc.sat(And(AP("p"), AP("q"))) == frozenset({3})
+        assert mc.sat(Or(AP("p"), AP("q"))) == frozenset({1, 2, 3})
+        assert mc.sat(Implies(AP("p"), AP("q"))) == frozenset({0, 2, 3})
+
+    def test_true(self):
+        mc = ModelChecker(diamond())
+        assert mc.sat(TrueF()) == frozenset(range(4))
+
+
+class TestTemporal:
+    def test_ex(self):
+        mc = ModelChecker(diamond())
+        assert mc.sat(EX(AP("p"))) == frozenset({0, 1, 2, 3})
+        assert mc.sat(EX(AP("q"))) == frozenset({0, 1, 2, 3})
+
+    def test_ax(self):
+        mc = ModelChecker(diamond())
+        # AX p: all successors satisfy p -> true for s1, s2, s3; s0 has s2
+        assert mc.sat(AX(AP("p"))) == frozenset({1, 2, 3})
+
+    def test_ef_eu(self):
+        mc = ModelChecker(two_loops())
+        assert mc.sat(EF(AP("p"))) == frozenset({0, 1})
+        assert mc.sat(EU(AP("p", 0), AP("p"))) == frozenset({0, 1})
+
+    def test_eg(self):
+        mc = ModelChecker(two_loops())
+        # EG !p: stay in s0 forever
+        assert mc.sat(EG(AP("p", 0))) == frozenset({0})
+
+    def test_ag(self):
+        mc = ModelChecker(two_loops())
+        assert mc.sat(AG(Or(AP("p"), AP("p", 0)))) == frozenset({0, 1})
+        assert mc.sat(AG(AP("p"))) == frozenset({1})
+
+    def test_af_fails_with_escape_loop(self):
+        mc = ModelChecker(two_loops())
+        # s0 can loop forever: AF p does not hold there
+        assert mc.sat(AF(AP("p"))) == frozenset({1})
+
+    def test_au(self):
+        mc = ModelChecker(diamond())
+        # A[!q U p] from s0: path via s2 reaches q=1 at s2? s2 has q=1...
+        result = mc.sat(AU(AP("q", 0), AP("p")))
+        assert 1 in result and 3 in result
+
+    def test_check_wrapper(self):
+        assert check(diamond(), EF(AP("q")))
+        assert not check(diamond(), AP("p"))
+
+
+class TestFairness:
+    def test_fairness_rescues_liveness(self):
+        k = two_loops()
+        # unfair: s0 may loop forever, AG AF p fails
+        assert not check(k, AG(AF(AP("p"))))
+        # fair: p-states must occur infinitely often -> the s0 self-loop
+        # is unfair, so every fair path reaches s1
+        assert check(k, AG(AF(AP("p"))), fairness=[AP("p")])
+
+    def test_fair_eg(self):
+        k = two_loops()
+        mc = ModelChecker(k, fairness=[AP("p")])
+        # EG !p needs a fair path staying in s0: impossible
+        assert mc.sat(EG(AP("p", 0))) == frozenset()
+
+    def test_unsatisfiable_fairness_empties_paths(self):
+        k = KripkeStructure(
+            signals=["p"],
+            labels=[(0,)],
+            successors=[[0]],
+            initial=[0],
+        )
+        mc = ModelChecker(k, fairness=[AP("p")])
+        assert mc.fair_states == frozenset()
+
+    def test_counterexample_state(self):
+        mc = ModelChecker(diamond())
+        assert mc.counterexample_state(AP("p")) == 0
+        assert mc.counterexample_state(EF(AP("p"))) is None
+
+
+class TestFormulaConstruction:
+    def test_operators(self):
+        f = AP("a") & AP("b") | ~AP("c")
+        assert isinstance(f, Or)
+
+    def test_str_forms(self):
+        assert str(AP("x")) == "x"
+        assert str(AP("x", 0)) == "!x"
+        assert "EG" in str(EG(AP("x")))
+        assert "U" in str(EU(TrueF(), AP("x")))
+
+    def test_caching_consistency(self):
+        mc = ModelChecker(diamond())
+        f = EF(AP("p"))
+        assert mc.sat(f) is mc.sat(EF(AP("p")))

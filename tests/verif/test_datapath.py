@@ -1,0 +1,115 @@
+"""The Fig. 8(b) data-correctness set-up."""
+
+import random
+
+import pytest
+
+from repro.elastic.behavioral import ElasticBuffer, ElasticNetwork, Sink
+from repro.elastic.channel import Channel
+from repro.verif.datapath import (
+    AlternatingChecker,
+    DataCorrectnessHarness,
+    DataMismatch,
+    alternating_source,
+    merge_equal,
+    random_acyclic_network,
+)
+
+
+class TestMergeEqual:
+    def test_agreeing_values(self):
+        assert merge_equal([1, 1, None]) == 1
+
+    def test_empty(self):
+        assert merge_equal([None, None]) is None
+
+    def test_mismatch_raises(self):
+        with pytest.raises(DataMismatch):
+            merge_equal([0, 1])
+
+
+class TestAlternatingChecker:
+    def _simple_net(self, p_stop=0.0, p_kill=0.0, seed=0):
+        net = ElasticNetwork("alt")
+        a = net.add_channel("a")
+        b = net.add_channel("b")
+        net.add(alternating_source("P", a, rng=random.Random(seed)))
+        net.add(ElasticBuffer("B", a, b))
+        checker = AlternatingChecker("C", b, p_stop=p_stop, p_kill=p_kill,
+                                     rng=random.Random(seed + 1))
+        net.add(checker)
+        return net, checker
+
+    def test_clean_stream_checks_out(self):
+        net, checker = self._simple_net()
+        net.run(100)
+        assert checker.checked > 90
+
+    def test_kills_advance_parity(self):
+        net, checker = self._simple_net(p_kill=0.4, seed=3)
+        net.run(400)
+        assert checker.kills_sent > 50
+        assert checker.checked > 50
+
+    def test_corrupting_buffer_detected(self):
+        """A buffer that mangles payloads breaks the alternating trace."""
+        net = ElasticNetwork("bad")
+        a, b = net.add_channel("a", check_data=False), net.add_channel("b", check_data=False)
+        net.add(alternating_source("P", a))
+
+        class CorruptingBuffer(ElasticBuffer):
+            def commit(self):
+                super().commit()
+                if self.data and net.cycle == 7:
+                    self.data[0] ^= 1  # flip a bit
+
+        net.add(CorruptingBuffer("B", a, b))
+        net.add(AlternatingChecker("C", b, p_stop=0, p_kill=0))
+        with pytest.raises(DataMismatch):
+            net.run(100)
+
+    def test_reordering_detected(self):
+        """Dropping one token desynchronises the parity."""
+        net = ElasticNetwork("drop")
+        a, b = net.add_channel("a", check_data=False), net.add_channel("b", check_data=False)
+        net.add(alternating_source("P", a))
+
+        class DroppingBuffer(ElasticBuffer):
+            def commit(self):
+                super().commit()
+                if self.data and net.cycle == 5:
+                    self.data.pop(0)
+                    self.count -= 1
+
+        net.add(DroppingBuffer("B", a, b))
+        net.add(AlternatingChecker("C", b, p_stop=0, p_kill=0))
+        with pytest.raises(DataMismatch):
+            net.run(100)
+
+
+class TestRandomNetworks:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_netlists_preserve_data(self, seed):
+        net = random_acyclic_network(seed, n_sources=2, n_layers=4)
+        harness = DataCorrectnessHarness(net)
+        report = harness.run(400)
+        assert report.consumed > 0
+
+    def test_early_join_netlists(self):
+        net = random_acyclic_network(11, n_sources=3, n_layers=5, early_joins=True)
+        DataCorrectnessHarness(net).run(400)
+
+    def test_heavy_killing(self):
+        net = random_acyclic_network(5, p_kill=0.5, p_stop=0.3)
+        report = DataCorrectnessHarness(net).run(500)
+        assert report.kills > 0
+
+    def test_harness_requires_checkers(self):
+        net = ElasticNetwork("none")
+        with pytest.raises(ValueError):
+            DataCorrectnessHarness(net)
+
+    def test_report_str(self):
+        net = random_acyclic_network(1)
+        report = DataCorrectnessHarness(net).run(50)
+        assert "cycles" in str(report)

@@ -1,0 +1,76 @@
+"""Tests for the explicit-state Kripke builder."""
+
+import pytest
+
+from repro.rtl.netlist import Netlist
+from repro.verif.kripke import build_kripke
+
+
+def toggler():
+    """A 1-bit counter with an enable input."""
+    nl = Netlist("tog")
+    en = nl.add_input("en")
+    q = nl.add_flop("d", q="q", init=0)
+    nl.XOR(q, en, out="d")
+    nl.add_output("q")
+    return nl
+
+
+class TestBuild:
+    def test_state_count(self):
+        k = build_kripke(toggler())
+        # 2 sequential states x 2 input combinations
+        assert len(k) == 4
+
+    def test_initial_states_cover_all_inputs(self):
+        k = build_kripke(toggler())
+        assert len(k.initial) == 2
+
+    def test_labels_expose_signal_values(self):
+        k = build_kripke(toggler())
+        for s in k.initial:
+            assert k.value(s, "q") == 0
+
+    def test_successors_fan_out_over_inputs(self):
+        k = build_kripke(toggler())
+        for s in range(len(k)):
+            assert len(k.successors[s]) == 2
+
+    def test_transition_semantics(self):
+        k = build_kripke(toggler())
+        # from (q=0, en=1) every successor has q=1
+        start = next(s for s in k.initial if k.value(s, "en") == 1)
+        for t in k.successors[start]:
+            assert k.value(t, "q") == 1
+
+    def test_observe_selects_signals(self):
+        k = build_kripke(toggler(), observe=["q"])
+        assert k.signals == ["q"]
+
+    def test_max_states_enforced(self):
+        nl = Netlist("big")
+        prev = nl.add_input("in0")
+        for i in range(8):
+            prev = nl.add_flop(prev, q=f"q{i}", init=0)
+        nl.add_output(prev)
+        with pytest.raises(RuntimeError):
+            build_kripke(nl, max_states=10)
+
+    def test_states_where(self):
+        k = build_kripke(toggler())
+        ones = k.states_where(lambda v: v["q"] == 1)
+        assert len(ones) == 2
+
+    def test_predecessors_inverse_of_successors(self):
+        k = build_kripke(toggler())
+        preds = k.predecessors()
+        for src, succs in enumerate(k.successors):
+            for dst in succs:
+                assert src in preds[dst]
+
+    def test_raw_states_align(self):
+        k = build_kripke(toggler())
+        for idx in k.initial:
+            state, inputs = k.raw_states[idx]
+            assert state == (0,)
+            assert inputs[0] == k.value(idx, "en")

@@ -1,0 +1,96 @@
+"""Tests for counterexample extraction."""
+
+import pytest
+
+from repro.elastic.gates import GateChannel, build_nd_sink, build_nd_source
+from repro.rtl.netlist import Netlist
+from repro.verif.ctl import AP, And, Not
+from repro.verif.kripke import build_kripke
+from repro.verif.traces import (
+    counterexample_trace,
+    format_trace,
+    shortest_path_to,
+)
+
+
+def broken_buffer_netlist():
+    """The retry-dropping 'buffer' from the properties tests."""
+    nl = Netlist("broken")
+    left = GateChannel.declare(nl, "L")
+    right = GateChannel.declare(nl, "R")
+    choice = nl.add_input("src.choice")
+    build_nd_source(nl, left, prefix="src", choice_input=choice)
+    v = nl.add_flop(left.vp, q="bad.v", init=0)
+    nl.BUF(v, out=right.vp)
+    nl.const0(out=right.sn)
+    nl.const0(out=left.sp)
+    nl.const0(out=left.vn)
+    stall = nl.add_input("snk.stall")
+    build_nd_sink(nl, right, prefix="snk", stall_input=stall)
+    for ch in (left, right):
+        for w in ch.wires():
+            nl.add_output(w)
+    return nl, right
+
+
+class TestShortestPath:
+    def test_initial_state_is_trivial_path(self):
+        nl, _ = broken_buffer_netlist()
+        k = build_kripke(nl)
+        path = shortest_path_to(k, frozenset(k.initial))
+        assert len(path) == 1
+
+    def test_unreachable_target(self):
+        nl, _ = broken_buffer_netlist()
+        k = build_kripke(nl)
+        assert shortest_path_to(k, frozenset()) is None
+
+
+class TestCounterexample:
+    def test_holding_invariant_gives_none(self):
+        nl, right = broken_buffer_netlist()
+        k = build_kripke(nl)
+        # the dual-channel invariant (2) does hold on this netlist
+        inv = And(
+            Not(And(AP(right.vn), AP(right.sp))),
+            Not(And(AP(right.vp), AP(right.sn))),
+        )
+        assert counterexample_trace(k, inv) is None
+
+    def test_retry_violation_witnessed(self):
+        """The broken buffer drops V+ after a retry: find the moment."""
+        nl, right = broken_buffer_netlist()
+        observe = list(nl.outputs) + list(nl.inputs) + ["bad.v"]
+        k = build_kripke(nl, observe=observe)
+        # Safety encoding of the retry bug: V+ with stop but the state
+        # bit that should hold it is about to clear.  Simpler: witness
+        # any reachable Retry+ state; then check its successors.
+        trace = counterexample_trace(k, Not(And(AP(right.vp), AP(right.sp))))
+        assert trace is not None
+        last = trace[-1]
+        assert last.signals[right.vp] == 1 and last.signals[right.sp] == 1
+        # from that state, some successor drops V+ (the actual bug)
+        assert any(
+            k.value(t, right.vp) == 0 for t in k.successors[last.state]
+        )
+
+    def test_trace_starts_at_initial(self):
+        nl, right = broken_buffer_netlist()
+        k = build_kripke(nl)
+        trace = counterexample_trace(k, Not(AP(right.vp)))
+        assert trace is not None
+        assert trace[0].state in k.initial
+
+    def test_format_trace(self):
+        nl, right = broken_buffer_netlist()
+        k = build_kripke(nl)
+        trace = counterexample_trace(k, Not(AP(right.vp)))
+        text = format_trace(trace)
+        assert "counterexample" in text and "cycle 0" in text
+
+    def test_steps_expose_inputs(self):
+        nl, right = broken_buffer_netlist()
+        k = build_kripke(nl)
+        trace = counterexample_trace(k, Not(AP(right.vp)))
+        for step in trace:
+            assert set(step.inputs) == {"src.choice", "snk.stall"}
