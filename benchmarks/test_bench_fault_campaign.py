@@ -1,0 +1,30 @@
+"""Fault-injection campaign: wall-time and detection coverage.
+
+Reproduces the headline coverage table -- an exhaustive stuck-at sweep
+over the Fig. 5 dual-EHB control nets with online SELF monitors -- and
+times one full campaign.  Coverage numbers are attached to the
+benchmark record via ``extra_info`` so regressions in detection (not
+just speed) are visible.
+"""
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, run_campaign
+
+CONFIG = CampaignConfig(cycles=250, seed=2007)
+
+
+def test_reproduce_coverage_table():
+    report = run_campaign("dual_ehb", CONFIG)
+    print(f"\n=== dual-EHB stuck-at campaign ===\n{report.table()}")
+    assert report.coverage == 1.0
+
+
+def test_bench_dual_ehb_campaign(benchmark):
+    report = benchmark(run_campaign, "dual_ehb", CONFIG)
+    counts = report.counts()
+    benchmark.extra_info["faults"] = len(report.outcomes)
+    benchmark.extra_info["detected"] = counts["detected"]
+    benchmark.extra_info["untestable"] = counts["untestable"]
+    benchmark.extra_info["coverage"] = report.coverage
+    assert report.coverage == 1.0

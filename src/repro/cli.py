@@ -9,6 +9,9 @@ Usage (after ``pip install -e .``)::
                              [--config active] [-o out.v]
     python -m repro bound    [--config lazy]
     python -m repro dmg
+    python -m repro inject   [--netlist dual_ehb|...|processor]
+                             [--fault stuck0,stuck1] [--cycles 400]
+                             [--seed 2007] [--report out.json] [--shrink]
 
 mirroring the paper's framework, which generated simulation, synthesis
 and verification models of the same controllers from one description.
@@ -101,6 +104,68 @@ def cmd_bound(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_inject(args: argparse.Namespace) -> int:
+    from repro.faults import (
+        CampaignConfig,
+        CampaignHarness,
+        ProcessorCampaignConfig,
+        enumerate_injections,
+        failing_predicate,
+        render_failure,
+        resolve_target,
+        run_campaign,
+        run_processor_campaign,
+        shrink_schedule,
+    )
+    from repro.faults.targets import TARGETS
+
+    from repro.faults.models import RTL_FAULT_KINDS
+
+    kinds = tuple(k.strip() for k in args.fault.split(",") if k.strip())
+    unknown_kinds = [k for k in kinds if k not in RTL_FAULT_KINDS]
+    if not kinds:
+        raise SystemExit(
+            f"no fault kinds given; pick from {', '.join(RTL_FAULT_KINDS)}"
+        )
+    if unknown_kinds and args.netlist != "processor":
+        raise SystemExit(
+            f"unknown fault kind(s) {', '.join(unknown_kinds)}; "
+            f"pick from {', '.join(RTL_FAULT_KINDS)}"
+        )
+    if args.netlist == "processor":
+        report = run_processor_campaign(
+            ProcessorCampaignConfig(cycles=args.cycles, seed=args.seed)
+        )
+    else:
+        if args.netlist not in TARGETS:
+            raise SystemExit(
+                f"unknown netlist {args.netlist!r}; pick one of "
+                f"{sorted(TARGETS) + ['processor']}"
+            )
+        config = CampaignConfig(
+            cycles=args.cycles, seed=args.seed, kinds=kinds
+        )
+        report = run_campaign(args.netlist, config)
+        if args.shrink:
+            detected = report.detected()
+            if detected:
+                target = resolve_target(args.netlist)
+                harness = CampaignHarness(target, config)
+                by_label = {
+                    i.label(): i for i in enumerate_injections(target, config)
+                }
+                schedule = [by_label[o.fault] for o in detected]
+                minimal = shrink_schedule(schedule, failing_predicate(harness))
+                print(render_failure(harness, minimal))
+                print()
+    print(report.table())
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote report to {args.report}")
+    return 0 if report.coverage == 1.0 else 1
+
+
 def cmd_dmg(args: argparse.Namespace) -> int:
     from repro.core.dmg import fig1_dmg
     from repro.core.export import to_dot
@@ -113,10 +178,25 @@ def cmd_dmg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _version() -> str:
+    """The installed distribution version, else the in-tree fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Elastic circuits with early evaluation and token counterflow",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -149,6 +229,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dmg", help="print the Fig. 1 DMG (DOT, marked)")
     p.set_defaults(func=cmd_dmg)
+
+    p = sub.add_parser(
+        "inject", help="run a fault-injection campaign with online monitors"
+    )
+    p.add_argument("--netlist", default="dual_ehb",
+                   help="campaign target (a controller name, or 'processor' "
+                        "for the behavioural Sect. 7 pipeline)")
+    p.add_argument("--fault", default="stuck0,stuck1",
+                   help="comma-separated RTL fault kinds "
+                        "(stuck0, stuck1, flip)")
+    p.add_argument("--cycles", type=int, default=400)
+    p.add_argument("--seed", type=int, default=2007)
+    p.add_argument("--report", default=None,
+                   help="write the JSON campaign report here")
+    p.add_argument("--shrink", action="store_true",
+                   help="also ddmin-shrink the detected faults to a minimal "
+                        "failing schedule and print its trace")
+    p.set_defaults(func=cmd_inject)
     return parser
 
 

@@ -819,6 +819,21 @@ class ElasticNetwork:
         self.controllers: List[Controller] = []
         self.channels: Dict[str, Channel] = {}
         self.cycle = 0
+        self._saboteurs: List[Callable[[int, Dict[str, Channel]], None]] = []
+
+    def add_saboteur(
+        self, saboteur: Callable[[int, Dict[str, Channel]], None]
+    ) -> Callable[[int, Dict[str, Channel]], None]:
+        """Register a fault-injection hook ``fn(cycle, channels)``.
+
+        Saboteurs run after the network settles but *before* channels
+        are classified and controllers commit, so a corrupted wire is
+        what every monitor and every controller's commit phase sees --
+        the behavioural analogue of a glitch on the physical wire.  See
+        :mod:`repro.faults.models` for the stock fault models.
+        """
+        self._saboteurs.append(saboteur)
+        return saboteur
 
     def add_channel(self, name: str, monitor: bool = True, check_data: bool = True) -> Channel:
         """Create and register a channel."""
@@ -851,6 +866,8 @@ class ElasticNetwork:
                 break
         else:
             raise ProtocolViolation(f"{self.name}: fixed point not reached")
+        for saboteur in self._saboteurs:
+            saboteur(self.cycle, self.channels)
         for ch in self.channels.values():
             ch.finish_cycle()
         for ctrl in self.controllers:

@@ -20,7 +20,7 @@ channel statistics, and runs the protocol monitor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.elastic.protocol import (
     DualChannelEvent,
@@ -94,6 +94,11 @@ class Channel:
         self.sn: Value = X
         self.data: object = None
         self.last_event: Optional[DualChannelEvent] = None
+        #: external per-cycle watchers ``fn(channel)`` called on every
+        #: settled cycle *before* the raising protocol monitor -- the
+        #: attachment point for the non-raising fault-campaign monitors
+        #: of :mod:`repro.faults.monitors`.
+        self.observers: List[Callable[["Channel"], None]] = []
 
     # ------------------------------------------------------------------
     # Driving (monotone: X -> known only; conflicting drives raise)
@@ -131,6 +136,19 @@ class Channel:
     def put_data(self, payload: object) -> None:
         """Producer attaches the payload accompanying ``V+``."""
         self.data = payload
+
+    def force(self, wire: str, value: Value) -> None:
+        """Fault-injection hook: overwrite a wire after the network settled.
+
+        Unlike the ``drive_*`` methods this bypasses the monotone-drive
+        discipline -- it models a glitch corrupting the physical wire
+        between the drivers' fixed point and the receivers' sampling
+        edge.  Use only between :meth:`ElasticNetwork` settling and
+        ``finish_cycle`` (see ``ElasticNetwork.add_saboteur``).
+        """
+        if wire not in ("vp", "sp", "vn", "sn"):
+            raise ValueError(f"unknown wire {wire!r}")
+        setattr(self, wire, value)
 
     # ------------------------------------------------------------------
     # Settled-cycle queries (used by controller commit phases)
@@ -175,6 +193,8 @@ class Channel:
     def finish_cycle(self) -> DualChannelEvent:
         """Classify and record the settled cycle."""
         self.require_settled()
+        for observer in self.observers:
+            observer(self)
         if self.monitor is not None:
             event = self.monitor.observe(self.vp, self.sp, self.vn, self.sn, self.data)
         else:

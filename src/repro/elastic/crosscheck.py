@@ -93,17 +93,23 @@ class _EnvSide:
 
 @dataclass
 class CrossCheckMismatch(AssertionError):
-    """The two layers disagreed on a wire value."""
+    """The two layers disagreed on a wire value.
+
+    Carries the run's ``seed`` so any reported mismatch can be replayed
+    verbatim: the same seed regenerates the same environment choices.
+    """
 
     cycle: int
     wire: str
     behavioral: int
     gate: object
+    seed: int = 0
 
     def __str__(self) -> str:
         return (
             f"cycle {self.cycle}: wire {self.wire} behavioral="
-            f"{self.behavioral} gate={self.gate!r}"
+            f"{self.behavioral} gate={self.gate!r} (replay with seed="
+            f"{self.seed})"
         )
 
 
@@ -131,18 +137,23 @@ class ControllerCrossCheck:
     ):
         self.controller = controller
         self.netlist = netlist
+        #: The seed reproducing this exact run (quoted in mismatches).
+        self.seed = seed
         self.sim = TwoPhaseSimulator(netlist)
         self.net = ElasticNetwork("crosscheck")
         self.triples = list(channels)
         self.envs: List[_EnvSide] = []
         self.ends: List[ScriptedEnd] = []
-        rng = random.Random(seed)
 
         for ch, gch, ctrl_role in self.triples:
             if self.net.channels.get(ch.name) is not ch:
                 self.net.channels[ch.name] = ch
             env_role = "consumer" if ctrl_role == "producer" else "producer"
-            env = _EnvSide(side=env_role, rng=random.Random(rng.randrange(2**31)))
+            # Derive each channel's stream from (seed, channel name), so
+            # a given channel sees identical stimulus regardless of how
+            # many other channels the harness happens to wrap.
+            env = _EnvSide(side=env_role,
+                           rng=random.Random(f"{seed}:{ch.name}"))
             if env_role == "consumer":
                 env.p_kill = p_kill
             end = ScriptedEnd(f"env.{ch.name}", ch, env_role)
@@ -179,7 +190,9 @@ class ControllerCrossCheck:
             for want, wire in pairs:
                 got = gate_values.get(wire)
                 if got != want:
-                    raise CrossCheckMismatch(self.cycle, wire, want, got)
+                    raise CrossCheckMismatch(
+                        self.cycle, wire, want, got, seed=self.seed
+                    )
         for env, (ch, _, _) in zip(self.envs, self.triples):
             env.observe(ch.vp, ch.sp, ch.vn, ch.sn)
         self.cycle += 1

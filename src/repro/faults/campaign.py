@@ -1,0 +1,461 @@
+"""Fault-injection campaigns with online monitors and JSON reports.
+
+A campaign sweeps (fault site x fault kind x injection cycle) over a
+target, runs every injection against a seeded, protocol-legal random
+environment, and classifies each fault:
+
+* ``detected`` -- an online monitor fired (the report records the
+  monitor's name and the first detection cycle);
+* ``latent`` -- no monitor fired but the run diverged from the golden
+  (fault-free) reference -- internal state corruption that never
+  reached an observable rule;
+* ``undetected`` -- the run is indistinguishable from the golden run
+  (the fault was logically masked).
+
+Reports are deterministic: the same seed reproduces the same stimulus,
+the same sweep order and byte-for-byte the same JSON.
+
+Two campaign flavours:
+
+* :func:`run_campaign` -- RTL stuck-at/flip faults on the gate-level
+  controller targets of :mod:`repro.faults.targets`;
+* :func:`run_processor_campaign` -- behavioural channel glitches and
+  buffer state upsets on the Sect. 7 elastic processor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.casestudy.processor import ProcessorConfig, build_processor
+from repro.elastic.behavioral import ElasticBuffer
+from repro.elastic.protocol import ProtocolViolation
+from repro.faults.models import (
+    BUFFER_FAULT_KINDS,
+    CHANNEL_FAULT_KINDS,
+    BufferFault,
+    ChannelFault,
+    Injection,
+    RtlFaultInjector,
+    StateSaboteur,
+    WireSaboteur,
+)
+from repro.faults.monitors import (
+    GoldenMonitor,
+    Monitor,
+    Violation,
+    buffer_monitors,
+    channel_monitors,
+)
+from repro.faults.targets import TARGETS, RtlTarget
+from repro.rtl.logic import Value
+from repro.rtl.simulator import TwoPhaseSimulator
+from repro.verif.traces import TraceStep
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Sweep parameters for an RTL campaign."""
+
+    cycles: int = 400
+    seed: int = 2007
+    kinds: Tuple[str, ...] = ("stuck0", "stuck1")
+    injection_cycles: Tuple[int, ...] = (0,)
+    flip_duration: int = 1
+    #: Try to prove faults the sweep missed equivalent to the fault-free
+    #: circuit (exhaustive (state, input) equivalence over the DUT cone).
+    untestable_analysis: bool = True
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """The verdict for one injected fault."""
+
+    fault: str
+    status: str  # "detected" | "latent" | "undetected"
+    monitor: Optional[str] = None
+    detection_cycle: Optional[int] = None
+    detail: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fault": self.fault,
+            "status": self.status,
+            "monitor": self.monitor,
+            "detection_cycle": self.detection_cycle,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """All outcomes of one campaign, with deterministic serialisation."""
+
+    target: str
+    seed: int
+    cycles: int
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {"detected": 0, "latent": 0, "undetected": 0, "untestable": 0}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def coverage(self) -> float:
+        """Detected fraction of the *testable* faults (ATPG convention:
+        faults proven equivalent to the fault-free circuit leave the
+        denominator)."""
+        counts = self.counts()
+        testable = len(self.outcomes) - counts["untestable"]
+        if testable <= 0:
+            return 1.0
+        return counts["detected"] / testable
+
+    def detected(self) -> List[FaultOutcome]:
+        return [o for o in self.outcomes if o.status == "detected"]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "counts": self.counts(),
+            "coverage": round(self.coverage, 6),
+            "faults": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON (same seed => identical bytes)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def table(self) -> str:
+        """The coverage table: monitor + first-detection cycle per fault."""
+        width = max((len(o.fault) for o in self.outcomes), default=10)
+        lines = [
+            f"fault campaign [{self.target}] seed={self.seed} "
+            f"cycles={self.cycles}",
+            f"{'fault':{width}}  {'status':10}  {'detected by':28}  cycle",
+        ]
+        for o in self.outcomes:
+            monitor = o.monitor or "-"
+            cycle = "-" if o.detection_cycle is None else str(o.detection_cycle)
+            lines.append(
+                f"{o.fault:{width}}  {o.status:10}  {monitor:28}  {cycle}"
+            )
+        c = self.counts()
+        testable = len(self.outcomes) - c["untestable"]
+        lines.append(
+            f"coverage: {c['detected']}/{testable} testable faults detected "
+            f"({100.0 * self.coverage:.1f}%), {c['latent']} latent, "
+            f"{c['undetected']} undetected, {c['untestable']} untestable"
+        )
+        return "\n".join(lines)
+
+
+def make_stimulus(
+    free_inputs: Sequence[str], cycles: int, seed: int
+) -> List[Dict[str, int]]:
+    """Seeded free-input bits, identical for golden and faulty runs."""
+    rng = random.Random(seed)
+    return [
+        {name: rng.getrandbits(1) for name in free_inputs}
+        for _ in range(cycles)
+    ]
+
+
+class CampaignHarness:
+    """One target + one stimulus: golden reference and per-fault runs."""
+
+    def __init__(self, target: RtlTarget, config: CampaignConfig) -> None:
+        self.target = target
+        self.config = config
+        self.stimulus = make_stimulus(
+            target.free_inputs, config.cycles, config.seed
+        )
+        self.sim = TwoPhaseSimulator(target.netlist)
+        self.injector = RtlFaultInjector(self.sim)
+        self.golden: List[Dict[str, Value]] = []
+        self.golden_final: Dict[str, Value] = {}
+        self._record_golden()
+
+    def _record_golden(self) -> None:
+        observe = self.target.observe
+        self.injector.reset([])
+        for inputs in self.stimulus:
+            values = self.injector.cycle(inputs)
+            self.golden.append({w: values.get(w) for w in observe})
+        self.golden_final = dict(self.sim.state)
+
+    def monitors(self) -> List[Monitor]:
+        """A fresh monitor bank (protocol + EB state + golden lockstep)."""
+        bank = channel_monitors(self.target.channels)
+        bank.extend(buffer_monitors(self.target.ebs))
+        bank.append(GoldenMonitor(self.target.observe, self.golden))
+        return bank
+
+    def run_schedule(
+        self, schedule: Sequence[Injection], record: bool = False
+    ) -> Tuple[Optional[Violation], Optional[List[TraceStep]], Dict[str, Value]]:
+        """Run one injection schedule to first detection (or the horizon).
+
+        Returns ``(violation, steps, final_state)`` where ``steps`` is
+        the rendered trace up to and including the detection cycle when
+        ``record`` is set.
+        """
+        self.injector.reset(schedule)
+        bank = self.monitors()
+        steps: Optional[List[TraceStep]] = [] if record else None
+        for t, inputs in enumerate(self.stimulus):
+            values = self.injector.cycle(inputs)
+            if steps is not None:
+                signals = {
+                    w: (1 if values.get(w) == 1 else 0)
+                    for w in self.target.observe
+                }
+                steps.append(TraceStep(state=t, inputs=dict(inputs),
+                                       signals=signals))
+            for monitor in bank:
+                violation = monitor.observe(t, values)
+                if violation is not None:
+                    return violation, steps, dict(self.sim.state)
+        return None, steps, dict(self.sim.state)
+
+    def outcome(self, injection: Injection) -> FaultOutcome:
+        """Run one fault and classify it."""
+        violation, _, final_state = self.run_schedule([injection])
+        if violation is not None:
+            return FaultOutcome(
+                fault=injection.label(),
+                status="detected",
+                monitor=violation.monitor,
+                detection_cycle=violation.cycle,
+                detail=violation.detail,
+            )
+        if final_state != self.golden_final:
+            diverged = sorted(
+                s for s, v in final_state.items()
+                if self.golden_final.get(s) != v
+            )
+            return FaultOutcome(
+                fault=injection.label(),
+                status="latent",
+                detail=f"state diverged: {', '.join(diverged[:4])}",
+            )
+        return FaultOutcome(fault=injection.label(), status="undetected")
+
+
+def enumerate_injections(
+    target: RtlTarget, config: CampaignConfig
+) -> List[Injection]:
+    """The full (site x kind x cycle) sweep, in deterministic order."""
+    injections: List[Injection] = []
+    for net in target.fault_sites:
+        for kind in config.kinds:
+            for cycle in config.injection_cycles:
+                duration = config.flip_duration if kind == "flip" else None
+                injections.append(Injection(net, kind, cycle, duration))
+    return injections
+
+
+def prove_untestable(target: RtlTarget, injection: Injection) -> bool:
+    """Exhaustively prove a fault equivalent to the fault-free circuit.
+
+    Enumerates every (DUT state, boundary input) pair -- boundary inputs
+    are the channel wires the environment drives, forced via the
+    override hook -- and compares the faulty against the fault-free
+    next state and DUT-driven channel outputs.  If no pair differs the
+    fault is untestable by *any* environment, so (ATPG convention) it
+    leaves the coverage denominator.
+
+    Conservative: returns False (i.e. "maybe testable") when the DUT
+    state lives in latches or the enumeration would be too large.
+    """
+    nl = target.netlist
+    sites = set(target.fault_sites)
+    if any(q in nl.latches for q in sites):
+        return False
+    state_bits = [q for q in target.fault_sites if q in nl.flops]
+    boundary = [
+        w for ch in target.channels for w in ch.wires() if w not in sites
+    ]
+    outputs = [
+        w for ch in target.channels for w in ch.wires() if w in sites
+    ]
+    if len(state_bits) + len(boundary) > 16:
+        return False
+    sim = TwoPhaseSimulator(nl)
+    base_state = sim.initial_state()
+    fault_override = injection.override()
+    for bits in itertools.product((0, 1), repeat=len(state_bits)):
+        state = dict(base_state)
+        state.update(zip(state_bits, bits))
+        for env_bits in itertools.product((0, 1), repeat=len(boundary)):
+            env = dict(zip(boundary, env_bits))
+            sim.overrides = env
+            good_vals, good_next = sim.step_function(state, {})
+            sim.overrides = {**env, injection.net: fault_override}
+            bad_vals, bad_next = sim.step_function(state, {})
+            if any(good_vals.get(w) != bad_vals.get(w) for w in outputs):
+                return False
+            if any(good_next.get(q) != bad_next.get(q) for q in state_bits):
+                return False
+    return True
+
+
+def resolve_target(target: Union[str, RtlTarget]) -> RtlTarget:
+    if isinstance(target, RtlTarget):
+        return target
+    try:
+        return TARGETS[target]()
+    except KeyError:
+        raise ValueError(
+            f"unknown target {target!r}; pick one of {sorted(TARGETS)}"
+        ) from None
+
+
+def run_campaign(
+    target: Union[str, RtlTarget],
+    config: Optional[CampaignConfig] = None,
+) -> CampaignReport:
+    """Sweep every enumerated fault over ``target``."""
+    cfg = config or CampaignConfig()
+    tgt = resolve_target(target)
+    harness = CampaignHarness(tgt, cfg)
+    report = CampaignReport(target=tgt.name, seed=cfg.seed, cycles=cfg.cycles)
+    for injection in enumerate_injections(tgt, cfg):
+        outcome = harness.outcome(injection)
+        if (
+            outcome.status == "undetected"
+            and cfg.untestable_analysis
+            and prove_untestable(tgt, injection)
+        ):
+            outcome = FaultOutcome(
+                fault=outcome.fault,
+                status="untestable",
+                detail=(
+                    "proven equivalent to the fault-free circuit on every "
+                    "(state, boundary input) pair"
+                ),
+            )
+        report.outcomes.append(outcome)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Behavioural campaign: the elastic processor
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessorCampaignConfig:
+    """Sweep parameters for the behavioural processor campaign."""
+
+    cycles: int = 300
+    seed: int = 2007
+    kinds: Tuple[str, ...] = (
+        "token_drop", "spurious_anti", "glitch_sp", "glitch_sn",
+    )
+    channels: Tuple[str, ...] = ("if_id", "disp", "alu_q", "wb_q")
+    buffers: Tuple[str, ...] = ("EB_IF", "EB_ALU", "EB_WB")
+    buffer_kinds: Tuple[str, ...] = BUFFER_FAULT_KINDS
+    injection_cycles: Tuple[int, ...] = (60,)
+    duration: int = 1
+
+
+def _golden_commits(config: ProcessorCampaignConfig) -> List[int]:
+    net, _, commit = build_processor(ProcessorConfig(seed=config.seed))
+    net.run(config.cycles)
+    return [instr.seq for instr in commit.committed]
+
+
+def _processor_outcome(
+    config: ProcessorCampaignConfig,
+    fault: Union[ChannelFault, BufferFault],
+    golden: List[int],
+) -> FaultOutcome:
+    net, _, commit = build_processor(ProcessorConfig(seed=config.seed))
+    if isinstance(fault, ChannelFault):
+        saboteur: Union[WireSaboteur, StateSaboteur] = WireSaboteur([fault])
+    else:
+        buffers = {
+            c.name: c for c in net.controllers if isinstance(c, ElasticBuffer)
+        }
+        saboteur = StateSaboteur([fault], buffers)
+    net.add_saboteur(saboteur)
+    try:
+        net.run(config.cycles)
+    except ProtocolViolation as exc:
+        return FaultOutcome(
+            fault=fault.label(),
+            status="detected",
+            monitor="protocol",
+            detection_cycle=net.cycle,
+            detail=str(exc),
+        )
+    except AssertionError as exc:
+        return FaultOutcome(
+            fault=fault.label(),
+            status="detected",
+            monitor="commit-assert",
+            detection_cycle=net.cycle,
+            detail=str(exc),
+        )
+    committed = [instr.seq for instr in commit.committed]
+    if committed != golden:
+        divergence = next(
+            (i for i, (a, b) in enumerate(zip(committed, golden)) if a != b),
+            min(len(committed), len(golden)),
+        )
+        return FaultOutcome(
+            fault=fault.label(),
+            status="detected",
+            monitor="golden-data",
+            detail=(
+                f"committed sequence diverges at index {divergence} "
+                f"({len(committed)} vs {len(golden)} commits)"
+            ),
+        )
+    if saboteur.applied:
+        return FaultOutcome(
+            fault=fault.label(),
+            status="latent",
+            detail="fault applied but the committed stream is unchanged",
+        )
+    return FaultOutcome(
+        fault=fault.label(),
+        status="undetected",
+        detail="fault window never armed (nothing to corrupt)",
+    )
+
+
+def enumerate_processor_faults(
+    config: ProcessorCampaignConfig,
+) -> List[Union[ChannelFault, BufferFault]]:
+    faults: List[Union[ChannelFault, BufferFault]] = []
+    for channel in config.channels:
+        for kind in config.kinds:
+            if kind not in CHANNEL_FAULT_KINDS:
+                raise ValueError(f"unknown channel fault kind {kind!r}")
+            for cycle in config.injection_cycles:
+                faults.append(ChannelFault(channel, kind, cycle, config.duration))
+    for buffer in config.buffers:
+        for kind in config.buffer_kinds:
+            for cycle in config.injection_cycles:
+                faults.append(BufferFault(buffer, kind, cycle))
+    return faults
+
+
+def run_processor_campaign(
+    config: Optional[ProcessorCampaignConfig] = None,
+) -> CampaignReport:
+    """Sweep behavioural faults over the Sect. 7 elastic processor."""
+    cfg = config or ProcessorCampaignConfig()
+    golden = _golden_commits(cfg)
+    report = CampaignReport(target="processor", seed=cfg.seed, cycles=cfg.cycles)
+    for fault in enumerate_processor_faults(cfg):
+        report.outcomes.append(_processor_outcome(cfg, fault, golden))
+    return report

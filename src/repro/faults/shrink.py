@@ -1,0 +1,110 @@
+"""Greedy delta-debugging of failing injection schedules.
+
+Given a schedule of injections that makes some predicate fail (an
+online monitor fires), :func:`shrink_schedule` minimises it with the
+classic ddmin loop -- drop ever-smaller chunks, keeping any reduced
+schedule that still fails -- and then tightens each survivor's activity
+window.  The result is typically the single injection that actually
+triggers the failure, with the benign riders stripped away.
+
+:func:`render_failure` replays a (minimised) schedule and renders the
+cycles up to the first violation through :mod:`repro.verif.traces`, so
+a campaign failure reads like any other counterexample trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.faults.campaign import CampaignHarness
+from repro.faults.models import Injection
+from repro.verif.traces import format_trace
+
+FaultT = TypeVar("FaultT")
+#: A predicate: does this schedule still provoke a failure?
+Fails = Callable[[Sequence[FaultT]], bool]
+
+
+def shrink_schedule(
+    schedule: Sequence[FaultT],
+    fails: Fails,
+    minimise_windows: bool = True,
+) -> List[FaultT]:
+    """Minimise a failing schedule (ddmin, then per-fault window tightening).
+
+    ``schedule`` must fail under ``fails`` (ValueError otherwise); the
+    returned subset still fails and is 1-minimal with respect to chunk
+    removal.  With ``minimise_windows`` each surviving fault is also
+    tried with ``duration=1`` and ``cycle=0`` (kept only if the
+    schedule still fails), turning long windows into point injections.
+    """
+    current = list(schedule)
+    if not fails(current):
+        raise ValueError("schedule does not fail; nothing to shrink")
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(current):
+            candidate = current[:i] + current[i + chunk:]
+            if candidate and fails(candidate):
+                current = candidate
+            else:
+                i += chunk
+        chunk //= 2
+    if minimise_windows:
+        current = [_tighten(current, k, fails) for k in range(len(current))]
+    return current
+
+
+def _tighten(
+    schedule: List[FaultT], index: int, fails: Fails
+) -> FaultT:
+    """Shrink one fault's activity window as far as the failure allows."""
+    fault = schedule[index]
+
+    def keeps_failing(candidate: FaultT) -> bool:
+        trial = list(schedule)
+        trial[index] = candidate
+        if fails(trial):
+            schedule[index] = candidate
+            return True
+        return False
+
+    duration = getattr(fault, "duration", None)
+    if duration is None:
+        # Permanent fault: try the single-cycle transient version first.
+        for d in (1, 2, 4):
+            if keeps_failing(dataclasses.replace(fault, duration=d)):
+                break
+    elif duration > 1:
+        keeps_failing(dataclasses.replace(fault, duration=1))
+    fault = schedule[index]
+    if getattr(fault, "cycle", 0) > 0 and getattr(fault, "duration", 1) is None:
+        keeps_failing(dataclasses.replace(fault, cycle=0))
+    return schedule[index]
+
+
+def failing_predicate(harness: CampaignHarness) -> Fails:
+    """The standard predicate: any online monitor fires on the schedule."""
+
+    def fails(schedule: Sequence[Injection]) -> bool:
+        violation, _, _ = harness.run_schedule(schedule)
+        return violation is not None
+
+    return fails
+
+
+def render_failure(
+    harness: CampaignHarness, schedule: Sequence[Injection]
+) -> str:
+    """Replay ``schedule`` and render the failing prefix as a trace."""
+    violation, steps, _ = harness.run_schedule(schedule, record=True)
+    header = ["injections:"]
+    header.extend(f"  {inj.label()}" for inj in schedule)
+    if violation is None:
+        header.append("no violation observed")
+        return "\n".join(header)
+    header.append(f"violation: {violation}")
+    assert steps is not None
+    return "\n".join(header) + "\n" + format_trace(steps)

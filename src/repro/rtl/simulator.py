@@ -22,13 +22,21 @@ verifies this claim (`strict_x=True` raises on unresolved signals).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.rtl.logic import Value, X, is_known, land, lmux, lnot, lor, lxor
 from repro.rtl.netlist import FlipFlop, Gate, Latch, Netlist, Phase
 
 State = Dict[str, Value]
 Values = Dict[str, Value]
+
+#: A net override: either a constant forced value, or a function of the
+#: fault-free value (e.g. ``lnot`` for a bit-flip).
+Override = Union[int, Callable[[Value], Value]]
+
+
+def _apply_override(override: Override, value: Value) -> Value:
+    return override(value) if callable(override) else override
 
 
 class CombinationalCycleError(RuntimeError):
@@ -70,10 +78,24 @@ class TwoPhaseSimulator:
     :mod:`repro.verif` uses to build Kripke structures.
     """
 
-    def __init__(self, netlist: Netlist, strict_x: bool = False) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        strict_x: bool = False,
+        overrides: Optional[Mapping[str, Override]] = None,
+    ) -> None:
         netlist.validate()
         self.netlist = netlist
         self.strict_x = strict_x
+        #: Net override hooks (fault injection): while a signal name is
+        #: present here its *visible* value is forced everywhere it is
+        #: read -- gate evaluation, latch transparency and state loads.
+        #: A transparent latch stores its (forced) output node, so an
+        #: override on a latch corrupts the stored bit as well; a
+        #: flip-flop keeps sampling its true ``d`` and recovers once the
+        #: override is removed.  The mapping may be mutated between
+        #: cycles; :mod:`repro.faults` drives it per injection schedule.
+        self.overrides: Dict[str, Override] = dict(overrides or {})
         self._order = self._schedule()
         self.state: State = self.initial_state()
         self.values: Values = {}
@@ -140,18 +162,28 @@ class TwoPhaseSimulator:
     ) -> Values:
         """Least ternary fixed point of one clock phase."""
         nl = self.netlist
+        ov = self.overrides
         vals: Values = {}
         for sig in nl.inputs:
-            vals[sig] = inputs.get(sig, X)
+            v = inputs.get(sig, X)
+            if ov and sig in ov:
+                v = _apply_override(ov[sig], v)
+            vals[sig] = v
         for q in nl.flops:
-            vals[q] = state[q]
+            v = state[q]
+            if ov and q in ov:
+                v = _apply_override(ov[q], v)
+            vals[q] = v
         transparent: List[Latch] = []
         for q, latch in nl.latches.items():
             if latch.phase == phase:
                 transparent.append(latch)
                 vals[q] = X
             else:
-                vals[q] = state[q]
+                v = state[q]
+                if ov and q in ov:
+                    v = _apply_override(ov[q], v)
+                vals[q] = v
         for out in self._order:
             vals[out] = X
 
@@ -160,11 +192,15 @@ class TwoPhaseSimulator:
             changed = False
             for out in self._order:
                 new = _eval_gate(nl.gates[out], vals)
+                if ov and out in ov:
+                    new = _apply_override(ov[out], new)
                 if new is not vals[out] and new != vals[out]:
                     vals[out] = new
                     changed = True
             for latch in transparent:
                 new = vals.get(latch.d, X)
+                if ov and latch.q in ov:
+                    new = _apply_override(ov[latch.q], new)
                 if new is not vals[latch.q] and new != vals[latch.q]:
                     vals[latch.q] = new
                     changed = True

@@ -1,0 +1,153 @@
+"""Online monitors: invariants, persistence, encoding, conservation."""
+
+import pytest
+
+from repro.elastic.gates import GateChannel
+from repro.faults.monitors import (
+    ConservationMonitor,
+    EbProbe,
+    EncodingMonitor,
+    GoldenMonitor,
+    InvariantMonitor,
+    PersistenceMonitor,
+    buffer_monitors,
+    channel_monitors,
+)
+from repro.rtl.netlist import Netlist
+
+
+@pytest.fixture
+def channel():
+    return GateChannel.declare(Netlist("scratch"), "C")
+
+
+def wires(ch, vp=0, sp=0, vn=0, sn=0):
+    return {ch.vp: vp, ch.sp: sp, ch.vn: vn, ch.sn: sn}
+
+
+class TestInvariantMonitor:
+    def test_quiet_channel_is_fine(self, channel):
+        mon = InvariantMonitor(channel)
+        assert mon.observe(0, wires(channel)) is None
+        assert mon.observe(1, wires(channel, vp=1, sp=1)) is None
+
+    def test_vp_and_sn_fires(self, channel):
+        violation = InvariantMonitor(channel).observe(
+            3, wires(channel, vp=1, sn=1)
+        )
+        assert violation is not None
+        assert violation.cycle == 3
+        assert "invariant" in violation.monitor
+
+    def test_vn_and_sp_fires(self, channel):
+        assert InvariantMonitor(channel).observe(
+            0, wires(channel, vn=1, sp=1)
+        ) is not None
+
+
+class TestPersistenceMonitor:
+    def test_retry_must_persist(self, channel):
+        mon = PersistenceMonitor(channel)
+        assert mon.observe(0, wires(channel, vp=1, sp=1)) is None
+        violation = mon.observe(1, wires(channel))
+        assert violation is not None and "Retry+" in violation.detail
+
+    def test_kill_resolves_the_retry(self, channel):
+        mon = PersistenceMonitor(channel)
+        # V+ and V- together: the token is killed, no retry pends.
+        assert mon.observe(0, wires(channel, vp=1, sp=1, vn=1)) is None
+        assert mon.observe(1, wires(channel)) is None
+
+    def test_negative_retry_must_persist(self, channel):
+        mon = PersistenceMonitor(channel)
+        assert mon.observe(0, wires(channel, vn=1, sn=1)) is None
+        violation = mon.observe(1, wires(channel))
+        assert violation is not None and "Retry-" in violation.detail
+
+    def test_reset_forgets_history(self, channel):
+        mon = PersistenceMonitor(channel)
+        mon.observe(0, wires(channel, vp=1, sp=1))
+        mon.reset()
+        assert mon.observe(1, wires(channel)) is None
+
+
+@pytest.fixture
+def probe():
+    nl = Netlist("scratch")
+    return EbProbe("eb", GateChannel.declare(nl, "L"),
+                   GateChannel.declare(nl, "R"))
+
+
+def eb_values(probe, t0=0, t1=0, a0=0, a1=0, **boundary):
+    values = {f"eb.{k}": v
+              for k, v in dict(t0=t0, t1=t1, a0=a0, a1=a1).items()}
+    values.update(wires(probe.left))
+    values.update(wires(probe.right))
+    for key, value in boundary.items():
+        side, wire = key.split("_")
+        ch = probe.left if side == "l" else probe.right
+        values[getattr(ch, wire)] = value
+    return values
+
+
+class TestEncodingMonitor:
+    def test_thermometer_violations(self, probe):
+        mon = EncodingMonitor(probe)
+        assert mon.observe(0, eb_values(probe, t0=1, t1=1)) is None
+        assert mon.observe(1, eb_values(probe, t1=1)) is not None
+        assert mon.observe(2, eb_values(probe, a1=1)) is not None
+
+    def test_token_antitoken_exclusion(self, probe):
+        violation = EncodingMonitor(probe).observe(
+            0, eb_values(probe, t0=1, a0=1)
+        )
+        assert violation is not None and "coexist" in violation.detail
+
+
+class TestConservationMonitor:
+    def test_spontaneous_token_loss_fires(self, probe):
+        mon = ConservationMonitor(probe)
+        assert mon.observe(0, eb_values(probe, t0=1)) is None
+        violation = mon.observe(1, eb_values(probe))
+        assert violation is not None and "conservation" in violation.monitor
+
+    def test_transfer_out_is_legal(self, probe):
+        mon = ConservationMonitor(probe)
+        # Cycle 0: one token, transferring out (R.vp, no stop/anti).
+        assert mon.observe(0, eb_values(probe, t0=1, r_vp=1)) is None
+        # Cycle 1: empty, as the event implies.
+        assert mon.observe(1, eb_values(probe)) is None
+
+    def test_token_in_is_legal(self, probe):
+        mon = ConservationMonitor(probe)
+        assert mon.observe(0, eb_values(probe, l_vp=1)) is None
+        assert mon.observe(1, eb_values(probe, t0=1)) is None
+        # ... and a second consecutive accept.
+        assert mon.observe(1, eb_values(probe, t0=1, l_vp=1)) is None
+        assert mon.observe(2, eb_values(probe, t0=1, t1=1)) is None
+
+    def test_kill_annihilates(self, probe):
+        mon = ConservationMonitor(probe)
+        # An anti-token stored; a token arrives: kill at the left edge.
+        assert mon.observe(0, eb_values(probe, a0=1, l_vp=1, l_vn=1)) is None
+        assert mon.observe(1, eb_values(probe)) is None
+
+
+class TestGoldenMonitor:
+    def test_matches_are_silent(self):
+        mon = GoldenMonitor(["w"], [{"w": 1}, {"w": 0}])
+        assert mon.observe(0, {"w": 1}) is None
+        assert mon.observe(1, {"w": 0}) is None
+        assert mon.observe(5, {"w": 1}) is None  # past the reference
+
+    def test_divergence_names_the_wire(self):
+        violation = GoldenMonitor(["w"], [{"w": 1}]).observe(0, {"w": 0})
+        assert violation is not None
+        assert "w" in violation.monitor
+
+
+def test_factories_cover_all_rules(probe, channel):
+    bank = channel_monitors([channel])
+    assert {type(m) for m in bank} == {InvariantMonitor, PersistenceMonitor}
+    bank = buffer_monitors([probe])
+    assert {type(m) for m in bank} == {EncodingMonitor, ConservationMonitor}

@@ -1,0 +1,85 @@
+"""Trace shrinking: ddmin on injection schedules."""
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, CampaignHarness
+from repro.faults.models import Injection
+from repro.faults.shrink import (
+    failing_predicate,
+    render_failure,
+    shrink_schedule,
+)
+from repro.faults.targets import dual_ehb
+
+
+class TestDdmin:
+    def test_single_culprit_survives(self):
+        schedule = list(range(8))
+        result = shrink_schedule(
+            schedule, lambda s: 5 in s, minimise_windows=False
+        )
+        assert result == [5]
+
+    def test_pair_of_culprits_survives(self):
+        schedule = list(range(10))
+        result = shrink_schedule(
+            schedule, lambda s: 2 in s and 9 in s, minimise_windows=False
+        )
+        assert sorted(result) == [2, 9]
+
+    def test_passing_schedule_is_rejected(self):
+        with pytest.raises(ValueError):
+            shrink_schedule([1, 2, 3], lambda s: False,
+                            minimise_windows=False)
+
+    def test_already_minimal_is_kept(self):
+        assert shrink_schedule([4], lambda s: 4 in s,
+                               minimise_windows=False) == [4]
+
+
+class TestEndToEnd:
+    """The acceptance scenario: a multi-fault failing schedule shrinks
+    to a single-injection repro."""
+
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return CampaignHarness(dual_ehb(), CampaignConfig(cycles=120))
+
+    def test_multi_fault_schedule_shrinks_to_one(self, harness):
+        fails = failing_predicate(harness)
+        culprit = Injection("eb.t0", "stuck1")
+        # Riders with windows beyond the horizon never influence the
+        # run; ddmin must strip them all.
+        riders = [
+            Injection(net, "flip", cycle=10_000, duration=1)
+            for net in ("eb.t1", "eb.a0", "eb.a1")
+        ]
+        schedule = riders[:2] + [culprit] + riders[2:]
+        assert fails(schedule)
+        minimal = shrink_schedule(schedule, fails)
+        assert len(minimal) == 1
+        assert minimal[0].net == culprit.net
+        assert minimal[0].kind == culprit.kind
+        assert fails(minimal)
+
+    def test_window_minimisation_produces_a_transient(self, harness):
+        fails = failing_predicate(harness)
+        minimal = shrink_schedule([Injection("eb.t0", "stuck1")], fails)
+        # A permanent stuck-at whose effect is immediate tightens to a
+        # short transient window.
+        assert minimal[0].duration is not None
+
+    def test_render_failure_shows_trace_and_verdict(self, harness):
+        minimal = shrink_schedule(
+            [Injection("eb.t0", "stuck1")], failing_predicate(harness)
+        )
+        text = render_failure(harness, minimal)
+        assert "violation:" in text
+        assert "counterexample" in text
+        assert minimal[0].label().split("@")[0] in text
+
+    def test_render_without_failure_says_so(self, harness):
+        text = render_failure(
+            harness, [Injection("eb.t0", "flip", cycle=10_000, duration=1)]
+        )
+        assert "no violation" in text

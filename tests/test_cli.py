@@ -60,3 +60,48 @@ class TestCommands:
         assert main(["dmg"]) == 0
         out = capsys.readouterr().out
         assert "digraph" in out and "○" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestInject:
+    def test_dual_ehb_campaign_report(self, tmp_path, capsys):
+        report = tmp_path / "campaign.json"
+        assert main([
+            "inject", "--netlist", "dual_ehb", "--fault", "stuck0,stuck1",
+            "--cycles", "200", "--report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out and "(100.0%)" in out
+        assert report.exists()
+        import json
+
+        data = json.loads(report.read_text())
+        assert data["coverage"] == 1.0
+
+    def test_shrink_prints_minimal_trace(self, capsys):
+        assert main([
+            "inject", "--netlist", "dual_ehb", "--fault", "stuck1",
+            "--cycles", "150", "--shrink",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "violation:" in out
+        assert "counterexample" in out
+
+    def test_unknown_netlist_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "--netlist", "bogus"])
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(SystemExit, match="stuck2"):
+            main(["inject", "--fault", "stuck2"])
+
+    def test_empty_fault_list_rejected(self):
+        with pytest.raises(SystemExit, match="no fault kinds"):
+            main(["inject", "--fault", ""])

@@ -5,12 +5,25 @@ import pytest
 from repro.elastic.gates import GateChannel, build_nd_sink, build_nd_source
 from repro.rtl.netlist import Netlist
 from repro.verif.ctl import AP, And, Not
-from repro.verif.kripke import build_kripke
+from repro.verif.kripke import KripkeStructure, build_kripke
 from repro.verif.traces import (
     counterexample_trace,
     format_trace,
     shortest_path_to,
 )
+
+
+def chain_kripke(initial, edges, n=5):
+    """A synthetic structure: one boolean signal ``p``, true in state 0."""
+    successors = [[] for _ in range(n)]
+    for src, dst in edges:
+        successors[src].append(dst)
+    return KripkeStructure(
+        signals=["p"],
+        labels=[(1 if s == 0 else 0,) for s in range(n)],
+        successors=successors,
+        initial=list(initial),
+    )
 
 
 def broken_buffer_netlist():
@@ -44,6 +57,33 @@ class TestShortestPath:
         nl, _ = broken_buffer_netlist()
         k = build_kripke(nl)
         assert shortest_path_to(k, frozenset()) is None
+
+    def test_disconnected_target_is_unreachable(self):
+        # 0 -> 1 -> 2, but 3 and 4 form their own island.
+        k = chain_kripke(initial=[0], edges=[(0, 1), (1, 2), (3, 4)])
+        assert shortest_path_to(k, frozenset({4})) is None
+
+    def test_initial_state_already_in_target(self):
+        # A violating initial state yields a length-1 path, even when a
+        # longer route to the target set also exists.
+        k = chain_kripke(initial=[0], edges=[(0, 1), (1, 0)])
+        path = shortest_path_to(k, frozenset({0, 1}))
+        assert path == [0]
+
+    def test_multi_initial_bfs_picks_the_closest(self):
+        # Two entry points; the target neighbours the second one, so
+        # the path must start there rather than walk from state 0.
+        k = chain_kripke(
+            initial=[0, 3], edges=[(0, 1), (1, 2), (2, 4), (3, 4)]
+        )
+        path = shortest_path_to(k, frozenset({4}))
+        assert path == [3, 4]
+
+    def test_multi_initial_violating_entry_wins(self):
+        # One of several initial states is itself a violation.
+        k = chain_kripke(initial=[2, 0], edges=[(0, 1), (2, 1)])
+        path = shortest_path_to(k, frozenset({2}))
+        assert path == [2]
 
 
 class TestCounterexample:
