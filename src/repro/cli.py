@@ -132,7 +132,14 @@ def cmd_inject(args: argparse.Namespace) -> int:
             f"unknown fault kind(s) {', '.join(unknown_kinds)}; "
             f"pick from {', '.join(RTL_FAULT_KINDS)}"
         )
+    if args.lanes < 1 or args.jobs < 1:
+        raise SystemExit("--lanes and --jobs must be positive")
     if args.netlist == "processor":
+        if args.lanes > 1 or args.jobs > 1:
+            raise SystemExit(
+                "--lanes/--jobs need an RTL netlist; the behavioural "
+                "processor campaign only runs sequentially"
+            )
         report = run_processor_campaign(
             ProcessorCampaignConfig(cycles=args.cycles, seed=args.seed)
         )
@@ -145,7 +152,9 @@ def cmd_inject(args: argparse.Namespace) -> int:
         config = CampaignConfig(
             cycles=args.cycles, seed=args.seed, kinds=kinds
         )
-        report = run_campaign(args.netlist, config)
+        report = run_campaign(
+            args.netlist, config, lanes=args.lanes, jobs=args.jobs
+        )
         if args.shrink:
             detected = report.detected()
             if detected:
@@ -241,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(stuck0, stuck1, flip)")
     p.add_argument("--cycles", type=int, default=400)
     p.add_argument("--seed", type=int, default=2007)
+    p.add_argument("--lanes", type=int, default=1,
+                   help="injections simulated per bit-parallel pass "
+                        "(64 packs one fault per lane of a machine word)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes sharding the lane chunks; the "
+                        "report is byte-identical for any lanes/jobs split")
     p.add_argument("--report", default=None,
                    help="write the JSON campaign report here")
     p.add_argument("--shrink", action="store_true",

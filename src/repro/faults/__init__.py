@@ -11,11 +11,21 @@ The subsystem has four layers:
   and golden-reference lock-step comparison;
 * :mod:`repro.faults.campaign` -- seeded (site x kind x cycle) sweeps
   over the Figs. 5--7 controller targets and the Sect. 7 processor,
-  with deterministic JSON reports;
+  with deterministic JSON reports, optionally lane-parallel
+  (``lanes``) and process-sharded (``jobs``);
+* :mod:`repro.faults.batch` -- the bit-parallel campaign backend:
+  word-wide monitor bank and 64-injections-per-pass harness over
+  :class:`repro.rtl.BatchSimulator`, plus one-fault/many-seeds sweeps;
 * :mod:`repro.faults.shrink` -- ddmin minimisation of failing
   schedules, rendered as counterexample traces.
 """
 
+from repro.faults.batch import (
+    BatchCampaignHarness,
+    batch_monitor_bank,
+    lane_overrides,
+    run_seed_sweep,
+)
 from repro.faults.campaign import (
     CampaignConfig,
     CampaignHarness,
@@ -60,6 +70,7 @@ __all__ = [
     "BUFFER_FAULT_KINDS",
     "CHANNEL_FAULT_KINDS",
     "RTL_FAULT_KINDS",
+    "BatchCampaignHarness",
     "BufferFault",
     "CampaignConfig",
     "CampaignHarness",
@@ -81,16 +92,19 @@ __all__ = [
     "TARGETS",
     "Violation",
     "WireSaboteur",
+    "batch_monitor_bank",
     "buffer_monitors",
     "channel_monitors",
     "enumerate_injections",
     "enumerate_processor_faults",
     "failing_predicate",
+    "lane_overrides",
     "make_stimulus",
     "render_failure",
     "resolve_target",
     "run_campaign",
     "run_processor_campaign",
+    "run_seed_sweep",
     "shrink_schedule",
     "transient_flip",
 ]

@@ -21,10 +21,18 @@ Two campaign flavours:
   controller targets of :mod:`repro.faults.targets`;
 * :func:`run_processor_campaign` -- behavioural channel glitches and
   buffer state upsets on the Sect. 7 elastic processor.
+
+RTL campaigns scale two ways, composable and both bit-identical to the
+sequential sweep: ``lanes > 1`` classifies up to 64 injections per
+simulation on the bit-parallel kernel
+(:class:`~repro.faults.batch.BatchCampaignHarness`), and ``jobs > 1``
+shards the injection chunks over worker processes with a deterministic
+round-robin assignment, merging results back into sweep order.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import itertools
 import json
 import random
@@ -319,22 +327,55 @@ def resolve_target(target: Union[str, RtlTarget]) -> RtlTarget:
         ) from None
 
 
-def run_campaign(
+def _chunked(
+    items: Sequence[Injection], size: int
+) -> List[List[Injection]]:
+    """Sweep-order chunks of at most ``size`` injections."""
+    return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def _run_chunks(
     target: Union[str, RtlTarget],
-    config: Optional[CampaignConfig] = None,
-) -> CampaignReport:
-    """Sweep every enumerated fault over ``target``."""
-    cfg = config or CampaignConfig()
+    config: CampaignConfig,
+    lanes: int,
+    chunks: Sequence[Tuple[int, List[Injection]]],
+) -> List[Tuple[int, List[FaultOutcome]]]:
+    """Classify ``(index, chunk)`` pairs with one harness; keep indices.
+
+    Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; each worker builds its own harness (and golden run) once
+    and reuses it across its chunks.
+    """
     tgt = resolve_target(target)
-    harness = CampaignHarness(tgt, cfg)
-    report = CampaignReport(target=tgt.name, seed=cfg.seed, cycles=cfg.cycles)
-    for injection in enumerate_injections(tgt, cfg):
-        outcome = harness.outcome(injection)
-        if (
-            outcome.status == "undetected"
-            and cfg.untestable_analysis
-            and prove_untestable(tgt, injection)
-        ):
+    if lanes > 1:
+        from repro.faults.batch import BatchCampaignHarness
+
+        batch = BatchCampaignHarness(tgt, config, lanes)
+        return [(index, batch.run_chunk(chunk)) for index, chunk in chunks]
+    harness = CampaignHarness(tgt, config)
+    return [
+        (index, [harness.outcome(injection) for injection in chunk])
+        for index, chunk in chunks
+    ]
+
+
+def _apply_untestable_analysis(
+    tgt: RtlTarget,
+    cfg: CampaignConfig,
+    injections: Sequence[Injection],
+    outcomes: Sequence[FaultOutcome],
+) -> List[FaultOutcome]:
+    """Upgrade undetected faults the prover shows to be untestable.
+
+    A shared post-pass over (injection, outcome) pairs so sequential,
+    lane-sharded and process-sharded campaigns run the identical
+    analysis on the identical inputs.
+    """
+    if not cfg.untestable_analysis:
+        return list(outcomes)
+    final: List[FaultOutcome] = []
+    for injection, outcome in zip(injections, outcomes):
+        if outcome.status == "undetected" and prove_untestable(tgt, injection):
             outcome = FaultOutcome(
                 fault=outcome.fault,
                 status="untestable",
@@ -343,7 +384,57 @@ def run_campaign(
                     "(state, boundary input) pair"
                 ),
             )
-        report.outcomes.append(outcome)
+        final.append(outcome)
+    return final
+
+
+def run_campaign(
+    target: Union[str, RtlTarget],
+    config: Optional[CampaignConfig] = None,
+    lanes: int = 1,
+    jobs: int = 1,
+) -> CampaignReport:
+    """Sweep every enumerated fault over ``target``.
+
+    ``lanes > 1`` batches that many injections per simulation on the
+    bit-parallel kernel; ``jobs > 1`` additionally spreads the chunks
+    over worker processes (shard ``s`` takes chunks ``s, s+jobs, ...``
+    of the sweep, so the assignment is deterministic).  Every
+    combination yields a byte-identical report for the same seed.
+    """
+    cfg = config or CampaignConfig()
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    tgt = resolve_target(target)
+    injections = enumerate_injections(tgt, cfg)
+    chunks = list(enumerate(_chunked(injections, lanes)))
+    # Ship the target by name when we can: cheaper to pickle, and the
+    # worker rebuilds it deterministically.
+    spec: Union[str, RtlTarget] = target if isinstance(target, str) else tgt
+    if jobs > 1 and len(chunks) > 1:
+        shards = [chunks[s::jobs] for s in range(jobs)]
+        indexed: Dict[int, List[FaultOutcome]] = {}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=len([s for s in shards if s]) or 1
+        ) as pool:
+            futures = [
+                pool.submit(_run_chunks, spec, cfg, lanes, shard)
+                for shard in shards
+                if shard
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                for index, chunk_outcomes in future.result():
+                    indexed[index] = chunk_outcomes
+        outcomes = [o for i in sorted(indexed) for o in indexed[i]]
+    else:
+        outcomes = [
+            o for _, chunk in _run_chunks(spec, cfg, lanes, chunks)
+            for o in chunk
+        ]
+    report = CampaignReport(target=tgt.name, seed=cfg.seed, cycles=cfg.cycles)
+    report.outcomes = _apply_untestable_analysis(tgt, cfg, injections, outcomes)
     return report
 
 

@@ -9,6 +9,11 @@ tool chain at the structural level:
 * :mod:`repro.rtl.simulator` -- two-phase cycle simulation with
   X-propagation and combinational-cycle handling via ternary fixed
   points.
+* :mod:`repro.rtl.batchsim` -- bit-parallel 64-lane two-phase
+  simulation (one bit per lane in a two-plane value/known word pair),
+  compiled into flat per-phase instruction lists.
+* :mod:`repro.rtl.toposort` -- per-phase topological orders and
+  combinational-cycle extraction shared by both simulators.
 * :mod:`repro.rtl.area` -- constant propagation, dead-logic removal and
   literal/latch/flip-flop counting (the paper's Table 1 area columns).
 """
@@ -16,6 +21,15 @@ tool chain at the structural level:
 from repro.rtl.logic import AND, NOT, OR, X, lnot, land, lor, lxor, is_known
 from repro.rtl.netlist import Gate, Latch, FlipFlop, Netlist, Phase
 from repro.rtl.simulator import TwoPhaseSimulator, CombinationalCycleError
+from repro.rtl.batchsim import (
+    BatchSimulator,
+    LaneOverride,
+    broadcast,
+    pack_stimulus,
+    pack_values,
+    unpack_lane,
+)
+from repro.rtl.toposort import find_combinational_cycle, topo_order
 from repro.rtl.area import AreaReport, constant_propagate, count_area, prune_dead
 from repro.rtl.export import channel_specs_smv, to_blif, to_smv, to_verilog
 
@@ -36,6 +50,14 @@ __all__ = [
     "Phase",
     "TwoPhaseSimulator",
     "CombinationalCycleError",
+    "BatchSimulator",
+    "LaneOverride",
+    "broadcast",
+    "pack_stimulus",
+    "pack_values",
+    "unpack_lane",
+    "find_combinational_cycle",
+    "topo_order",
     "AreaReport",
     "constant_propagate",
     "count_area",

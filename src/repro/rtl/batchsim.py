@@ -1,0 +1,486 @@
+"""Bit-parallel two-phase simulation: 64 lanes per Python int.
+
+:class:`BatchSimulator` simulates ``lanes`` independent copies of one
+:class:`~repro.rtl.netlist.Netlist` at once.  Lane ``i`` of every signal
+lives in bit ``i`` of a pair of machine words, the **two-plane
+encoding**:
+
+* plane ``v`` -- the value bit, and
+* plane ``k`` -- the *known* bit: lane ``i`` carries a definite 0/1 iff
+  bit ``i`` of ``k`` is set; a clear ``k`` bit means the lane is ``X``.
+
+The canonical invariant ``v & ~k == 0`` holds everywhere (an unknown
+lane's value bit is 0), which keeps the word-wide gate formulas below
+exactly equivalent to the ternary operators in :mod:`repro.rtl.logic`:
+
+=====  =============================================================
+gate   two-plane formula (per 64 lanes in one pass)
+=====  =============================================================
+AND    ``rv = va & vb``; known iff some known-0 input or both known-1:
+       ``rk = rv | (ka & ~va) | (kb & ~vb)``
+OR     ``rv = va | vb``; ``rk = rv | (ka & ~va) & (kb & ~vb)``
+NOT    ``rk = ka``; ``rv = ka & ~va``
+XOR    ``rk = ka & kb``; ``rv = (va ^ vb) & rk``
+MUX    known select steers; an X select still resolves lanes where
+       both data inputs agree on a known value (X-reduction, matching
+       :func:`repro.rtl.logic.lmux`)
+=====  =============================================================
+
+Unlike :class:`~repro.rtl.simulator.TwoPhaseSimulator`, which iterates a
+ternary fixed point, the batch kernel is compiled: each clock phase
+becomes a flat topologically-sorted instruction list (variadic gates
+decomposed into binary chains through temporaries), so every gate is
+evaluated exactly once per phase for all lanes.  Compilation therefore
+requires each phase's combinational graph to be acyclic and raises the
+same :class:`~repro.rtl.toposort.CombinationalCycleError` (with the
+full cycle path) that the scalar simulator's strict mode reports.
+
+Fault injection is lane-granular: a :class:`LaneOverride` carries three
+masks (``set0``/``set1``/``flip``) and is applied at exactly the points
+the scalar simulator applies its net overrides -- primary inputs, state
+loads, every gate output and transparent-latch outputs -- so a batch of
+64 single-fault lanes reproduces 64 scalar fault runs bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.rtl.logic import Value, X, is_known
+from repro.rtl.netlist import Netlist, Phase
+from repro.rtl.toposort import topo_order
+
+__all__ = [
+    "BatchSimulator",
+    "LaneOverride",
+    "Planes",
+    "broadcast",
+    "pack_values",
+    "pack_stimulus",
+    "unpack_lane",
+]
+
+#: The two-plane word pair ``(v, k)`` for one signal across all lanes.
+Planes = Tuple[int, int]
+
+# Instruction opcodes (binary ops only; variadic gates are decomposed).
+_AND, _OR, _NOT, _XOR, _MUX, _BUF, _C0, _C1 = range(8)
+
+_DECOMPOSED = {
+    "AND": (_AND, False),
+    "OR": (_OR, False),
+    "NAND": (_AND, True),
+    "NOR": (_OR, True),
+}
+
+
+def broadcast(value: Value, lanes: int = 64) -> Planes:
+    """The same ternary value in every lane."""
+    mask = (1 << lanes) - 1
+    if not is_known(value):
+        return (0, 0)
+    return (mask if value else 0, mask)
+
+
+def pack_values(values: Sequence[Value]) -> Planes:
+    """Pack one ternary value per lane, lane ``i`` from ``values[i]``."""
+    v = k = 0
+    for lane, value in enumerate(values):
+        if is_known(value):
+            k |= 1 << lane
+            if value:
+                v |= 1 << lane
+    return (v, k)
+
+
+def unpack_lane(planes: Planes, lane: int) -> Value:
+    """The ternary value of one lane of a two-plane word pair."""
+    bit = 1 << lane
+    if not planes[1] & bit:
+        return X
+    return 1 if planes[0] & bit else 0
+
+
+def pack_stimulus(
+    stimuli: Sequence[Sequence[Mapping[str, Value]]],
+) -> List[Dict[str, Planes]]:
+    """Pack per-lane stimulus traces into per-cycle plane words.
+
+    ``stimuli[lane][cycle]`` maps input names to ternary values; inputs
+    a lane leaves unmentioned are ``X`` for that lane.  All lanes must
+    supply the same number of cycles.  Returns one ``{input: planes}``
+    dict per cycle, ready for :meth:`BatchSimulator.cycle`.
+    """
+    lengths = {len(trace) for trace in stimuli}
+    if len(lengths) > 1:
+        raise ValueError(f"stimulus traces differ in length: {sorted(lengths)}")
+    cycles = lengths.pop() if lengths else 0
+    packed: List[Dict[str, Planes]] = []
+    for t in range(cycles):
+        planes: Dict[str, List[int]] = {}
+        for lane, trace in enumerate(stimuli):
+            bit = 1 << lane
+            for name, value in trace[t].items():
+                vk = planes.setdefault(name, [0, 0])
+                if is_known(value):
+                    vk[1] |= bit
+                    if value:
+                        vk[0] |= bit
+        packed.append({name: (vk[0], vk[1]) for name, vk in planes.items()})
+    return packed
+
+
+class LaneOverride:
+    """Per-lane net override masks for the batch kernel.
+
+    Lane ``i`` is forced to 0 (1) when bit ``i`` of ``set0`` (``set1``)
+    is set, and inverted when bit ``i`` of ``flip`` is set.  A flip on
+    an unknown lane leaves it ``X``, matching the scalar ``lnot``
+    override.  Masks for different lanes are independent, so one object
+    carries a whole batch of injections on the same net.
+    """
+
+    __slots__ = ("set0", "set1", "flip")
+
+    def __init__(self, set0: int = 0, set1: int = 0, flip: int = 0) -> None:
+        if set0 & set1:
+            raise ValueError("a lane cannot be stuck at both 0 and 1")
+        self.set0 = set0
+        self.set1 = set1
+        self.flip = flip
+
+    def apply(self, v: int, k: int) -> Planes:
+        """The forced planes given fault-free planes ``(v, k)``."""
+        if self.set0 or self.set1:
+            v = (v & ~self.set0) | self.set1
+            k = k | self.set0 | self.set1
+        if self.flip:
+            v ^= self.flip & k
+        return v, k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LaneOverride(set0={self.set0:#x}, set1={self.set1:#x}, "
+            f"flip={self.flip:#x})"
+        )
+
+
+class BatchSimulator:
+    """Lane-parallel counterpart of :class:`TwoPhaseSimulator`.
+
+    The public cadence mirrors the scalar simulator -- :meth:`reset`,
+    then :meth:`cycle` once per clock with packed inputs -- but every
+    call advances all ``lanes`` copies at once.  After :meth:`cycle` the
+    plane words hold the end-of-LOW-phase values, the batch analogue of
+    the scalar ``values`` dict.
+    """
+
+    def __init__(self, netlist: Netlist, lanes: int = 64) -> None:
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        netlist.validate()
+        self.netlist = netlist
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+
+        nl = netlist
+        self._slot: Dict[str, int] = {}
+        for sig in (*nl.inputs, *nl.gates, *nl.latches, *nl.flops):
+            self._slot[sig] = len(self._slot)
+        self._inputs = [(name, self._slot[name]) for name in nl.inputs]
+        self._flops = [
+            (self._slot[q], self._slot[flop.d]) for q, flop in nl.flops.items()
+        ]
+        self._state_slots = [
+            (q, self._slot[q]) for q in nl.latches
+        ] + [(q, self._slot[q]) for q in nl.flops]
+        self._init = {
+            self._slot[q]: latch.init for q, latch in nl.latches.items()
+        }
+        self._init.update(
+            {self._slot[q]: flop.init for q, flop in nl.flops.items()}
+        )
+        high_latches = [
+            q for q, latch in nl.latches.items() if latch.phase == Phase.HIGH
+        ]
+        low_latches = [
+            q for q, latch in nl.latches.items() if latch.phase == Phase.LOW
+        ]
+        # Before the HIGH phase, flops and (still opaque) L latches load
+        # from state; before the LOW phase, flops reload and the H
+        # latches -- captured at the phase boundary -- load what they
+        # just latched.  Mirrors the scalar ``_phase_values`` prologue.
+        self._load_high = [
+            self._slot[q] for q in list(nl.flops) + low_latches
+        ]
+        self._load_low = [
+            self._slot[q] for q in list(nl.flops) + high_latches
+        ]
+        self._capture_high = [self._slot[q] for q in high_latches]
+        self._capture_low = [self._slot[q] for q in low_latches]
+
+        self._n_named = len(self._slot)
+        self._templates = self._decompose_gates()
+        self._prog_high = self._compile(Phase.HIGH)
+        self._prog_low = self._compile(Phase.LOW)
+        self._nslots = self._ntemp
+        self._run_high = self._codegen(self._prog_high, "_run_high")
+        self._run_low = self._codegen(self._prog_low, "_run_low")
+
+        self._v: List[int] = [0] * self._nslots
+        self._k: List[int] = [0] * self._nslots
+        self._ov: List[Optional[LaneOverride]] = [None] * self._nslots
+        self.state: Dict[int, Planes] = {}
+        self.time = 0
+        self.reset()
+
+    # -- compilation ---------------------------------------------------
+    def _decompose_gates(self) -> Dict[str, Tuple[Tuple[int, ...], ...]]:
+        """Binary instruction templates, one tuple per gate output.
+
+        Variadic AND/OR/NAND/NOR become chains through fresh temporary
+        slots; the final instruction of each template writes the gate's
+        named slot (the only slot overrides apply to).
+        """
+        self._ntemp = len(self._slot)
+        templates: Dict[str, Tuple[Tuple[int, ...], ...]] = {}
+        for out, gate in self.netlist.gates.items():
+            dst = self._slot[out]
+            ins = [self._slot[i] for i in gate.ins]
+            op = gate.op
+            instrs: List[Tuple[int, ...]] = []
+            if op in _DECOMPOSED:
+                code, invert = _DECOMPOSED[op]
+                if not ins:
+                    # Zero-input AND()/OR() reduce to their identity
+                    # element, exactly like land()/lor() with no args.
+                    const = _C1 if code == _AND else _C0
+                    if invert:
+                        const = _C0 if const == _C1 else _C1
+                    instrs.append((const, dst, 0, 0, 0))
+                else:
+                    acc = ins[0]
+                    for nxt in ins[1:]:
+                        tmp = self._ntemp
+                        self._ntemp += 1
+                        instrs.append((code, tmp, acc, nxt, 0))
+                        acc = tmp
+                    if invert:
+                        instrs.append((_NOT, dst, acc, 0, 0))
+                    elif acc == dst:  # pragma: no cover - ins never empty
+                        pass
+                    else:
+                        instrs.append((_BUF, dst, acc, 0, 0))
+            elif op == "NOT":
+                instrs.append((_NOT, dst, ins[0], 0, 0))
+            elif op == "BUF":
+                instrs.append((_BUF, dst, ins[0], 0, 0))
+            elif op == "XOR":
+                instrs.append((_XOR, dst, ins[0], ins[1], 0))
+            elif op == "MUX":
+                instrs.append((_MUX, dst, ins[0], ins[1], ins[2]))
+            elif op == "CONST0":
+                instrs.append((_C0, dst, 0, 0, 0))
+            elif op == "CONST1":
+                instrs.append((_C1, dst, 0, 0, 0))
+            else:  # pragma: no cover - netlist validates ops
+                raise AssertionError(f"unhandled op {op}")
+            templates[out] = tuple(instrs)
+        return templates
+
+    def _compile(self, phase: Phase) -> Tuple[Tuple[int, ...], ...]:
+        """One phase as a flat topologically-sorted instruction list."""
+        program: List[Tuple[int, ...]] = []
+        latches = self.netlist.latches
+        for node in topo_order(self.netlist, phase):
+            template = self._templates.get(node)
+            if template is not None:
+                program.extend(template)
+            else:
+                latch = latches[node]
+                program.append(
+                    (_BUF, self._slot[node], self._slot[latch.d], 0, 0)
+                )
+        return tuple(program)
+
+    # -- state ---------------------------------------------------------
+    def reset(self) -> None:
+        """All lanes back to the declared latch/flop init values."""
+        self.state = {
+            slot: broadcast(init, self.lanes)
+            for slot, init in self._init.items()
+        }
+        # In-place so observers holding the plane arrays stay attached.
+        self._v[:] = [0] * self._nslots
+        self._k[:] = [0] * self._nslots
+        self.time = 0
+
+    def set_overrides(self, overrides: Mapping[str, LaneOverride]) -> None:
+        """Install per-lane net overrides (replacing any previous set)."""
+        ov: List[Optional[LaneOverride]] = [None] * self._nslots
+        for name, override in overrides.items():
+            slot = self._slot.get(name)
+            if slot is None:
+                raise ValueError(f"unknown net {name!r}")
+            ov[slot] = override
+        self._ov = ov
+
+    def _load_state(self, slots: Iterable[int]) -> None:
+        v, k, ov, state = self._v, self._k, self._ov, self.state
+        for slot in slots:
+            sv, sk = state[slot]
+            o = ov[slot]
+            if o is not None:
+                sv, sk = o.apply(sv, sk)
+            v[slot] = sv
+            k[slot] = sk
+
+    # -- execution -----------------------------------------------------
+    def _codegen(self, program: Tuple[Tuple[int, ...], ...], name: str):
+        """Specialize one phase program into straight-line Python.
+
+        Each instruction becomes direct expressions over local variables
+        (``v12``/``k12`` for slot 12) -- no dispatch loop, no list
+        indexing in the body.  Sources (slots read before written:
+        inputs, state, opaque latches) are loaded from the plane arrays
+        on entry; computed *named* slots are stored back on exit (temps
+        stay local) after the per-slot override guard, mirroring the
+        scalar simulator's override application at gate outputs.
+        """
+        body: List[str] = []
+        written: set = set()
+        sources: List[int] = []
+
+        def rd(slot: int) -> None:
+            if slot not in written and slot not in sources:
+                sources.append(slot)
+
+        for op, out, a, b, c in program:
+            if op == _AND:
+                rd(a), rd(b)
+                body.append(f"v{out}=v{a}&v{b}")
+                body.append(f"k{out}=v{out}|(k{a}&~v{a})|(k{b}&~v{b})")
+            elif op == _OR:
+                rd(a), rd(b)
+                body.append(f"v{out}=v{a}|v{b}")
+                body.append(f"k{out}=v{out}|(k{a}&~v{a})&(k{b}&~v{b})")
+            elif op == _NOT:
+                rd(a)
+                body.append(f"k{out}=k{a}")
+                body.append(f"v{out}=k{a}&~v{a}")
+            elif op == _BUF:
+                rd(a)
+                body.append(f"v{out}=v{a}")
+                body.append(f"k{out}=k{a}")
+            elif op == _XOR:
+                rd(a), rd(b)
+                body.append(f"k{out}=k{a}&k{b}")
+                body.append(f"v{out}=(v{a}^v{b})&k{out}")
+            elif op == _MUX:
+                rd(a), rd(b), rd(c)
+                body.append(f"_s0=k{a}&~v{a}")
+                body.append(f"_sx=mask^k{a}")
+                body.append(f"_g1=v{b}&v{c}")
+                body.append(f"_g0=(k{b}&~v{b})&(k{c}&~v{c})")
+                body.append(f"v{out}=(v{a}&v{b})|(_s0&v{c})|(_sx&_g1)")
+                body.append(
+                    f"k{out}=(v{a}&k{b})|(_s0&k{c})|(_sx&(_g1|_g0))"
+                )
+            elif op == _C0:
+                body.append(f"v{out}=0")
+                body.append(f"k{out}=mask")
+            else:  # _C1
+                body.append(f"v{out}=mask")
+                body.append(f"k{out}=mask")
+            if out < self._n_named:
+                body.append(f"_o=ov[{out}]")
+                body.append(
+                    f"if _o is not None: v{out},k{out}=_o.apply(v{out},k{out})"
+                )
+            written.add(out)
+
+        lines = [f"def {name}(v, k, ov, mask):"]
+        for slot in sources:
+            lines.append(f"    v{slot}=v[{slot}]; k{slot}=k[{slot}]")
+        lines.extend(f"    {stmt}" for stmt in body)
+        for slot in sorted(s for s in written if s < self._n_named):
+            lines.append(f"    v[{slot}]=v{slot}; k[{slot}]=k{slot}")
+        if len(lines) == 1:
+            lines.append("    pass")
+        namespace: Dict[str, object] = {}
+        code = compile(
+            "\n".join(lines),
+            f"<batchsim:{self.netlist.name}:{name}>",
+            "exec",
+        )
+        exec(code, namespace)
+        return namespace[name]
+
+    def cycle(self, inputs: Optional[Mapping[str, Planes]] = None) -> None:
+        """Advance every lane by one clock cycle.
+
+        ``inputs`` maps input names to canonical plane pairs (missing
+        inputs are all-X, as in the scalar simulator).  Afterwards the
+        plane words expose the end-of-LOW-phase values via
+        :meth:`planes` / :meth:`lane_value`.
+        """
+        inputs = inputs or {}
+        v, k, ov, mask = self._v, self._k, self._ov, self.mask
+        for name, slot in self._inputs:
+            iv, ik = inputs.get(name, (0, 0))
+            o = ov[slot]
+            if o is not None:
+                iv, ik = o.apply(iv & mask, ik & mask)
+            v[slot] = iv & mask
+            k[slot] = ik & mask
+        self._load_state(self._load_high)
+        self._run_high(v, k, ov, mask)
+        state = self.state
+        for slot in self._capture_high:
+            state[slot] = (v[slot], k[slot])
+        self._load_state(self._load_low)
+        self._run_low(v, k, ov, mask)
+        for slot in self._capture_low:
+            state[slot] = (v[slot], k[slot])
+        for qslot, dslot in self._flops:
+            state[qslot] = (v[dslot], k[dslot])
+        self.time += 1
+
+    # -- observation ---------------------------------------------------
+    def slot(self, sig: str) -> int:
+        """The plane-array index of ``sig`` (for hot-loop observers)."""
+        return self._slot[sig]
+
+    @property
+    def value_planes(self) -> List[int]:
+        """The live value-plane array, indexed by :meth:`slot`."""
+        return self._v
+
+    @property
+    def known_planes(self) -> List[int]:
+        """The live known-plane array, indexed by :meth:`slot`."""
+        return self._k
+
+    def planes(self, sig: str) -> Planes:
+        """The end-of-cycle plane pair of one signal across all lanes."""
+        slot = self._slot[sig]
+        return self._v[slot], self._k[slot]
+
+    def lane_value(self, sig: str, lane: int) -> Value:
+        """One lane's ternary value of ``sig`` after the last cycle."""
+        slot = self._slot[sig]
+        return unpack_lane((self._v[slot], self._k[slot]), lane)
+
+    def lane_values(
+        self, lane: int, sigs: Optional[Iterable[str]] = None
+    ) -> Dict[str, Value]:
+        """One lane's view of the last cycle, as a scalar values dict."""
+        names = list(sigs) if sigs is not None else list(self._slot)
+        return {name: self.lane_value(name, lane) for name in names}
+
+    def lane_state(self, lane: int) -> Dict[str, Value]:
+        """One lane's latch/flop state, matching ``TwoPhaseSimulator.state``."""
+        return {
+            name: unpack_lane(self.state[slot], lane)
+            for name, slot in self._state_slots
+        }

@@ -26,6 +26,15 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.rtl.logic import Value, X, is_known, land, lmux, lnot, lor, lxor
 from repro.rtl.netlist import FlipFlop, Gate, Latch, Netlist, Phase
+from repro.rtl.toposort import CombinationalCycleError, find_combinational_cycle
+
+__all__ = [
+    "CombinationalCycleError",
+    "Override",
+    "State",
+    "TwoPhaseSimulator",
+    "Values",
+]
 
 State = Dict[str, Value]
 Values = Dict[str, Value]
@@ -37,10 +46,6 @@ Override = Union[int, Callable[[Value], Value]]
 
 def _apply_override(override: Override, value: Value) -> Value:
     return override(value) if callable(override) else override
-
-
-class CombinationalCycleError(RuntimeError):
-    """Raised in strict mode when a phase leaves signals unresolved."""
 
 
 def _eval_gate(gate: Gate, vals: Mapping[str, Value]) -> Value:
@@ -243,6 +248,10 @@ class TwoPhaseSimulator:
                 and all(is_known(v2) for v2 in state.values())
             ]
             if unresolved:
+                for phase in (Phase.LOW, Phase.HIGH):
+                    cycle = find_combinational_cycle(nl, phase)
+                    if cycle is not None:
+                        raise CombinationalCycleError.from_cycle(cycle)
                 raise CombinationalCycleError(
                     f"unresolved signals after LOW phase: {sorted(unresolved)[:8]}"
                 )

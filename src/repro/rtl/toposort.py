@@ -1,0 +1,125 @@
+"""Per-phase topological orders and combinational-cycle extraction.
+
+Within one clock phase the combinational surface of a netlist consists
+of its gates plus the latches that are *transparent* in that phase
+(their output follows their input like a buffer).  Both simulators need
+this graph:
+
+* :class:`~repro.rtl.batchsim.BatchSimulator` compiles each phase into
+  a flat instruction list and therefore *requires* the graph to be
+  acyclic -- :func:`topo_order` raises :class:`CombinationalCycleError`
+  naming the full cycle path otherwise;
+* :class:`~repro.rtl.simulator.TwoPhaseSimulator` tolerates cycles via
+  ternary fixed points, but in ``strict_x`` mode it uses
+  :func:`find_combinational_cycle` to report the same full cycle path
+  instead of a bare list of unresolved nets.
+
+Cycle paths are canonical (rotated so the lexicographically smallest
+signal comes first, listed in signal-flow order), so the two simulators
+produce byte-identical diagnostics for the same netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rtl.netlist import Netlist, Phase
+
+
+class CombinationalCycleError(RuntimeError):
+    """Combinational logic that cannot settle within one clock phase.
+
+    Raised structurally (a cycle in a phase's gate graph, with the
+    offending path in :attr:`cycle`) or, by the scalar simulator's
+    strict mode, when the ternary fixed point leaves signals unresolved.
+    """
+
+    def __init__(self, message: str, cycle: Optional[List[str]] = None) -> None:
+        super().__init__(message)
+        #: The signals along the cycle in flow order, or None when the
+        #: error reports unresolved signals without a structural cycle.
+        self.cycle: Optional[List[str]] = list(cycle) if cycle else None
+
+    @classmethod
+    def from_cycle(cls, cycle: List[str]) -> "CombinationalCycleError":
+        """The canonical error for one structural cycle path."""
+        cycle = canonical_cycle(cycle)
+        loop = " -> ".join(cycle + [cycle[0]])
+        return cls(f"combinational cycle: {loop}", cycle=cycle)
+
+
+def canonical_cycle(cycle: List[str]) -> List[str]:
+    """Rotate a cycle so the smallest signal name comes first."""
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+def phase_nodes(netlist: Netlist, phase: Phase) -> Dict[str, Tuple[str, ...]]:
+    """The combinational nodes of one phase and their raw fan-in.
+
+    Nodes are gate outputs plus the outputs of latches transparent in
+    ``phase``.  Fan-in tuples are unfiltered -- entries that are not
+    themselves nodes (primary inputs, flops, opaque latches) are the
+    phase's sources.
+    """
+    nodes: Dict[str, Tuple[str, ...]] = {}
+    for out, gate in netlist.gates.items():
+        nodes[out] = gate.ins
+    for q, latch in netlist.latches.items():
+        if latch.phase == phase:
+            nodes[q] = (latch.d,)
+    return nodes
+
+
+def topo_order(netlist: Netlist, phase: Phase) -> List[str]:
+    """Topological order of one phase's combinational nodes.
+
+    The returned list contains gate outputs and transparent-latch
+    outputs such that every node appears after all of its in-phase
+    fan-in.  Raises :class:`CombinationalCycleError` (with the full
+    path) when the phase has a combinational cycle.
+    """
+    nodes = phase_nodes(netlist, phase)
+    order: List[str] = []
+    seen: set = set()
+    path_set: set = set()
+    path_list: List[str] = []
+    for root in nodes:
+        if root in seen:
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        while stack:
+            sig, idx = stack.pop()
+            if idx == 0:
+                path_set.add(sig)
+                path_list.append(sig)
+            ins = nodes[sig]
+            while idx < len(ins) and (ins[idx] not in nodes or ins[idx] in seen):
+                idx += 1
+            if idx < len(ins):
+                child = ins[idx]
+                if child in path_set:
+                    # DFS descends along fan-in, so the chain from
+                    # ``child`` down to ``sig`` reads against the signal
+                    # flow; reverse it to report the flow direction.
+                    chain = path_list[path_list.index(child):]
+                    raise CombinationalCycleError.from_cycle(chain[::-1])
+                stack.append((sig, idx + 1))
+                stack.append((child, 0))
+            else:
+                seen.add(sig)
+                order.append(sig)
+                path_set.discard(sig)
+                path_list.pop()
+    return order
+
+
+def find_combinational_cycle(
+    netlist: Netlist, phase: Phase
+) -> Optional[List[str]]:
+    """The canonical cycle path of one phase, or None when acyclic."""
+    try:
+        topo_order(netlist, phase)
+    except CombinationalCycleError as exc:
+        return exc.cycle
+    return None

@@ -1,0 +1,67 @@
+"""Determinism of the lane-parallel / process-sharded campaign runner.
+
+The bit-parallel backend and the process sharding are pure
+implementation choices: for a given (target, config) the JSON campaign
+report must be *byte-identical* whatever ``lanes``/``jobs`` split runs
+it.  A fixed-seed golden report is checked in to catch any silent
+drift in stimulus generation, monitor ordering or report formatting.
+"""
+
+import functools
+import pathlib
+
+import pytest
+
+from repro.faults import (
+    CampaignConfig,
+    CampaignHarness,
+    enumerate_injections,
+    resolve_target,
+    run_campaign,
+    run_seed_sweep,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "dual_ehb_c120_s2007.json"
+CONFIG = CampaignConfig(cycles=120, seed=2007)
+
+
+@functools.lru_cache(maxsize=None)
+def _report_json(lanes: int, jobs: int, kinds=None) -> str:
+    config = CONFIG if kinds is None else CampaignConfig(
+        cycles=120, seed=2007, kinds=kinds
+    )
+    return run_campaign("dual_ehb", config, lanes=lanes, jobs=jobs).to_json()
+
+
+def test_matches_checked_in_golden():
+    assert _report_json(1, 1) == GOLDEN.read_text()
+
+
+@pytest.mark.parametrize("lanes,jobs", [(64, 1), (64, 4), (1, 3), (7, 2)])
+def test_sharded_report_is_byte_identical(lanes, jobs):
+    assert _report_json(lanes, jobs) == _report_json(1, 1)
+
+
+def test_flip_faults_shard_identically():
+    kinds = ("stuck0", "stuck1", "flip")
+    assert _report_json(64, 4, kinds) == _report_json(1, 1, kinds)
+
+
+def test_invalid_lane_and_job_counts():
+    with pytest.raises(ValueError):
+        run_campaign("dual_ehb", CONFIG, lanes=0)
+    with pytest.raises(ValueError):
+        run_campaign("dual_ehb", CONFIG, jobs=0)
+
+
+def test_seed_sweep_matches_scalar_harnesses():
+    """One fault x many seeds: each lane equals its own scalar run."""
+    target = resolve_target("early_join")
+    seeds = list(range(8))
+    injections = enumerate_injections(target, CONFIG)[:3]
+    for injection in injections:
+        batched = run_seed_sweep(target, injection, seeds, CONFIG)
+        for seed, outcome in zip(seeds, batched):
+            config = CampaignConfig(cycles=CONFIG.cycles, seed=seed)
+            scalar = CampaignHarness(target, config).outcome(injection)
+            assert outcome == scalar, (injection.label(), seed)

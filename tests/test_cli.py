@@ -105,3 +105,25 @@ class TestInject:
     def test_empty_fault_list_rejected(self):
         with pytest.raises(SystemExit, match="no fault kinds"):
             main(["inject", "--fault", ""])
+
+
+class TestInjectLanes:
+    def test_lanes_and_jobs_report_is_byte_identical(self, tmp_path):
+        sequential = tmp_path / "seq.json"
+        sharded = tmp_path / "sharded.json"
+        base = ["inject", "--netlist", "dual_ehb", "--fault",
+                "stuck0,stuck1", "--cycles", "120"]
+        assert main(base + ["--report", str(sequential)]) == 0
+        assert main(base + ["--lanes", "64", "--jobs", "4",
+                            "--report", str(sharded)]) == 0
+        assert sharded.read_bytes() == sequential.read_bytes()
+
+    def test_processor_rejects_lanes(self):
+        with pytest.raises(SystemExit, match="RTL netlist"):
+            main(["inject", "--netlist", "processor", "--lanes", "64"])
+
+    def test_nonpositive_lanes_rejected(self):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["inject", "--lanes", "0"])
+        with pytest.raises(SystemExit, match="positive"):
+            main(["inject", "--jobs", "-1"])

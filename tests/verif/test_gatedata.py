@@ -106,3 +106,39 @@ class TestForkedDatapath:
             nl.add_output(e)
         ok, kripke = verify_data_correctness(nl, errors, max_states=2_000_000)
         assert ok
+
+
+class TestBatchedErrorSweep:
+    """Seeded random simulation as a complement to the CTL check."""
+
+    def test_clean_pipeline_has_no_errors(self):
+        from repro.verif.gatedata import batched_error_sweep
+
+        nl, errors = alternating_pipeline(n_buffers=2, with_kill=True)
+        assert batched_error_sweep(nl, errors, range(64), cycles=200) is None
+
+    def test_sabotage_found_and_replays_scalar(self):
+        from repro.verif.gatedata import batched_error_sweep, error_sweep
+
+        nl, errors = alternating_pipeline(n_buffers=2, with_kill=True,
+                                          sabotage=True)
+        hit = batched_error_sweep(nl, errors, range(64), cycles=200)
+        assert hit is not None
+        seed, cycle, wire = hit
+        assert wire in errors
+        # the reported (seed, cycle, wire) replays on the scalar sim
+        assert error_sweep(nl, errors, seed, cycles=200) == hit
+
+    def test_first_failure_is_batching_invariant(self):
+        from repro.verif.gatedata import batched_error_sweep, error_sweep
+
+        nl, errors = alternating_pipeline(n_buffers=2, with_kill=True,
+                                          sabotage=True)
+        hit = batched_error_sweep(nl, errors, range(100), cycles=120)
+        assert hit == batched_error_sweep(nl, errors, range(100), cycles=120)
+        # the winner is minimal over per-seed scalar first failures
+        firsts = [f for s in range(100)
+                  if (f := error_sweep(nl, errors, s, cycles=120))]
+        order = {w: i for i, w in enumerate(errors)}
+        want = min(firsts, key=lambda f: (f[1], order[f[2]], f[0]))
+        assert hit == want
