@@ -12,6 +12,10 @@ Usage (after ``pip install -e .``)::
     python -m repro inject   [--netlist dual_ehb|...|processor]
                              [--fault stuck0,stuck1] [--cycles 400]
                              [--seed 2007] [--report out.json] [--shrink]
+                             [--metrics] [--progress]
+    python -m repro trace    [--config active|...|pipeline] [--cycles 64]
+                             [--vcd out.vcd] [--events out.jsonl]
+    python -m repro stats    [--config active] [--cycles 5000] [--seed 0]
 
 mirroring the paper's framework, which generated simulation, synthesis
 and verification models of the same controllers from one description.
@@ -104,7 +108,99 @@ def cmd_bound(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_network(config: str, seed: int):
+    """Build the network to trace: a Fig. 9 config or the Fig. 5 chain."""
+    if config == "pipeline":
+        from repro.elastic.behavioral import (
+            ElasticBuffer,
+            ElasticNetwork,
+            Sink,
+            Source,
+        )
+
+        net = ElasticNetwork("fig5")
+        din = net.add_channel("Din")
+        mid = net.add_channel("mid")
+        dout = net.add_channel("Dout")
+        net.add(Source("src", din))
+        net.add(ElasticBuffer("EB0", din, mid, initial_tokens=1,
+                              initial_data=["t0"]))
+        net.add(ElasticBuffer("EB1", mid, dout))
+        net.add(Sink("snk", dout))
+        return net
+    from repro.synthesis.elaborate import to_behavioral
+
+    spec = build_fig9_spec(_config(config), seed=seed)
+    return to_behavioral(spec, seed=seed)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        JsonlSink,
+        MetricsRegistry,
+        TraceRecorder,
+        VcdSink,
+        collect_network_metrics,
+    )
+
+    net = _trace_network(args.config, args.seed)
+    registry = MetricsRegistry()
+    sinks: list = []
+    if args.vcd:
+        sinks.append(VcdSink(args.vcd))
+    if args.events:
+        sinks.append(JsonlSink(args.events))
+    recorder = TraceRecorder(
+        capacity=args.buffer, sinks=sinks, metrics=registry
+    )
+    recorder.attach_network(net, include_idle=args.include_idle)
+    net.run(args.cycles)
+    recorder.close()
+    collect_network_metrics(net, registry)
+    print(f"traced {net.cycle} cycles of {net.name} "
+          f"({len(net.channels)} channels, {recorder.emitted} events)")
+    for kind, count in recorder.counts().items():
+        print(f"  {kind:12s} {count}")
+    metric_transfers = sum(
+        c.value for c in registry.series("channel_transfers_total")
+    )
+    traced = (recorder.counts().get("transfer+", 0)
+              + recorder.counts().get("transfer-", 0))
+    print(f"reconciliation: {traced} traced transfers vs "
+          f"{metric_transfers} counted by metrics "
+          f"({'OK' if traced == metric_transfers else 'MISMATCH'})")
+    print()
+    print(registry.render())
+    if args.vcd:
+        print(f"wrote waveforms to {args.vcd}")
+    if args.events:
+        print(f"wrote events to {args.events}")
+    return 0 if traced == metric_transfers else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.elastic.behavioral import ElasticBuffer
+    from repro.elastic.instrumentation import OccupancyProbe
+    from repro.obs import MetricsRegistry, TraceRecorder, collect_network_metrics
+
+    net = _trace_network(args.config, args.seed)
+    registry = MetricsRegistry()
+    buffers = [c for c in net.controllers if isinstance(c, ElasticBuffer)]
+    if buffers:
+        net.add(OccupancyProbe("occupancy", buffers, registry=registry))
+    # Events go to the registry's EE counters only; keep the ring tiny.
+    recorder = TraceRecorder(capacity=1, metrics=registry)
+    recorder.attach_network(net)
+    net.run(args.cycles)
+    collect_network_metrics(net, registry)
+    print(f"{net.name}: {net.cycle} cycles, {len(net.channels)} channels, "
+          f"{len(buffers)} elastic buffers")
+    print(registry.render())
+    return 0
+
+
 def cmd_inject(args: argparse.Namespace) -> int:
+    from time import perf_counter
     from repro.faults import (
         CampaignConfig,
         CampaignHarness,
@@ -134,6 +230,17 @@ def cmd_inject(args: argparse.Namespace) -> int:
         )
     if args.lanes < 1 or args.jobs < 1:
         raise SystemExit("--lanes and --jobs must be positive")
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    progress = None
+    if args.progress:
+        from repro.obs import ProgressReporter
+
+        progress = ProgressReporter("campaign", every=1)
+    t0 = perf_counter()
     if args.netlist == "processor":
         if args.lanes > 1 or args.jobs > 1:
             raise SystemExit(
@@ -141,7 +248,9 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 "processor campaign only runs sequentially"
             )
         report = run_processor_campaign(
-            ProcessorCampaignConfig(cycles=args.cycles, seed=args.seed)
+            ProcessorCampaignConfig(cycles=args.cycles, seed=args.seed),
+            progress=progress,
+            metrics=registry,
         )
     else:
         if args.netlist not in TARGETS:
@@ -153,7 +262,8 @@ def cmd_inject(args: argparse.Namespace) -> int:
             cycles=args.cycles, seed=args.seed, kinds=kinds
         )
         report = run_campaign(
-            args.netlist, config, lanes=args.lanes, jobs=args.jobs
+            args.netlist, config, lanes=args.lanes, jobs=args.jobs,
+            progress=progress, metrics=registry,
         )
         if args.shrink:
             detected = report.detected()
@@ -167,7 +277,25 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 minimal = shrink_schedule(schedule, failing_predicate(harness))
                 print(render_failure(harness, minimal))
                 print()
+    wall = perf_counter() - t0
+    if args.metrics:
+        injections_run = len(report.outcomes)
+        report.metrics = {
+            "cycles_per_second": round(
+                injections_run * report.cycles / wall, 1
+            ) if wall > 0 else 0.0,
+            "injections": injections_run,
+            "jobs": args.jobs,
+            "lanes": args.lanes,
+            "series": registry.snapshot(),
+            "wall_time_s": round(wall, 3),
+        }
     print(report.table())
+    if args.metrics:
+        print(f"wall time: {wall:.3f}s "
+              f"({report.metrics['cycles_per_second']:.0f} "
+              f"injection-cycles/s, lanes={args.lanes}, jobs={args.jobs})")
+        print(registry.render())
     if args.report:
         with open(args.report, "w") as handle:
             handle.write(report.to_json())
@@ -261,7 +389,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shrink", action="store_true",
                    help="also ddmin-shrink the detected faults to a minimal "
                         "failing schedule and print its trace")
+    p.add_argument("--metrics", action="store_true",
+                   help="attach run metadata (wall time, verdict tallies, "
+                        "lane utilization) to the report and print it; "
+                        "without this flag the report stays byte-identical "
+                        "to the goldens")
+    p.add_argument("--progress", action="store_true",
+                   help="print progress lines while the sweep runs")
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser(
+        "trace",
+        help="record waveforms (VCD) and structured events from a simulation",
+    )
+    p.add_argument("--config", default="pipeline",
+                   help="a Fig. 9 configuration name, or 'pipeline' for the "
+                        "deterministic Fig. 5 dual-EB chain")
+    p.add_argument("--cycles", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--vcd", default=None,
+                   help="write GTKWave-viewable waveforms here")
+    p.add_argument("--events", default=None,
+                   help="write the JSONL event stream here")
+    p.add_argument("--buffer", type=int, default=65536,
+                   help="ring-buffer capacity (oldest events evicted)")
+    p.add_argument("--include-idle", action="store_true",
+                   help="also record idle channel-cycles")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="print the metrics snapshot of one simulation"
+    )
+    p.add_argument("--config", default="active")
+    p.add_argument("--cycles", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -820,6 +820,12 @@ class ElasticNetwork:
         self.channels: Dict[str, Channel] = {}
         self.cycle = 0
         self._saboteurs: List[Callable[[int, Dict[str, Channel]], None]] = []
+        #: post-commit probes ``fn(net)`` run once per settled cycle
+        #: (wires are still valid, ``net.cycle`` is the cycle just
+        #: simulated).  Empty by default -- the common untraced path
+        #: pays one truthiness check per cycle.  :mod:`repro.obs` uses
+        #: this for occupancy sampling and metrics collection.
+        self.probes: List[Callable[["ElasticNetwork"], None]] = []
 
     def add_saboteur(
         self, saboteur: Callable[[int, Dict[str, Channel]], None]
@@ -872,6 +878,9 @@ class ElasticNetwork:
             ch.finish_cycle()
         for ctrl in self.controllers:
             ctrl.commit()
+        if self.probes:
+            for probe in self.probes:
+                probe(self)
         self.cycle += 1
 
     def run(self, cycles: int) -> None:

@@ -9,16 +9,28 @@ system) and buffer occupancy.  This module provides:
 * :class:`OccupancyProbe` -- per-cycle occupancy of a set of elastic
   buffers (tokens and anti-tokens separately);
 * :func:`latency_stats` -- summary statistics of a latency sample.
+
+Since the :mod:`repro.obs` metrics registry subsumed the ad-hoc
+statistics, these classes are thin adapters over it: latencies land in
+a ``token_latency_cycles`` histogram, occupancies in ``eb_tokens`` /
+``eb_anti_tokens`` gauges.  Pass ``registry=`` to share one
+:class:`~repro.obs.metrics.MetricsRegistry` across probes; without it
+each probe owns a private registry, and the historical attribute API
+(``latencies``, ``token_samples``, ``mean_tokens``, ...) is unchanged.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.elastic.behavioral import Controller, ElasticBuffer, Sink, Source
 from repro.elastic.channel import Channel
+from repro.obs.metrics import Histogram, MetricsRegistry, SummaryStats, summarize
+
+#: Backwards-compatible name: the summary type now lives in
+#: :mod:`repro.obs.metrics` (same fields, same ``str()`` rendering).
+LatencyStats = SummaryStats
 
 
 @dataclass(frozen=True)
@@ -50,68 +62,54 @@ class TracingSource(Source):
 
 
 class TracingSink(Sink):
-    """A sink recording the age of every consumed token."""
+    """A sink recording the age of every consumed token.
 
-    def __init__(self, name: str, input: Channel, **kwargs):
+    Ages accumulate in a ``token_latency_cycles{sink=<name>}``
+    histogram; ``latencies`` exposes the raw samples as before.
+    """
+
+    def __init__(self, name: str, input: Channel,
+                 registry: Optional[MetricsRegistry] = None, **kwargs):
         super().__init__(name, input, **kwargs)
         self._clock = 0
-        self.latencies: List[int] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hist: Histogram = self.registry.histogram(
+            "token_latency_cycles", sink=name
+        )
+
+    @property
+    def latencies(self) -> List[int]:
+        return self._hist.samples
 
     def commit(self) -> None:
         ch = self.input
         if ch.pos_transfer and isinstance(ch.data, StampedToken):
-            self.latencies.append(self._clock - ch.data.born)
+            self._hist.observe(self._clock - ch.data.born)
         self._clock += 1
         super().commit()
 
 
-@dataclass
-class LatencyStats:
-    """Summary of a latency sample."""
-
-    count: int
-    mean: float
-    p50: float
-    p95: float
-    maximum: int
-
-    def __str__(self) -> str:
-        return (
-            f"n={self.count} mean={self.mean:.2f} p50={self.p50:.0f} "
-            f"p95={self.p95:.0f} max={self.maximum}"
-        )
-
-
 def latency_stats(latencies: Sequence[int]) -> LatencyStats:
     """Mean/median/p95/max of a latency sample."""
-    if not latencies:
-        return LatencyStats(0, 0.0, 0.0, 0.0, 0)
-    ordered = sorted(latencies)
-    n = len(ordered)
-
-    def pct(p: float) -> float:
-        idx = min(n - 1, max(0, math.ceil(p * n) - 1))
-        return float(ordered[idx])
-
-    return LatencyStats(
-        count=n,
-        mean=sum(ordered) / n,
-        p50=pct(0.50),
-        p95=pct(0.95),
-        maximum=ordered[-1],
-    )
+    return summarize(latencies)
 
 
 class OccupancyProbe(Controller):
     """Samples buffer occupancy every cycle.
 
     Register it on a network *after* the buffers it watches; it owns no
-    channels and only observes state during commit.
+    channels and only observes state during commit.  Every sample also
+    updates the ``eb_tokens{probe=<name>}`` / ``eb_anti_tokens{...}``
+    gauges, whose running min/mean/max feed metric snapshots.
     """
 
-    def __init__(self, name: str, buffers: Sequence[ElasticBuffer]):
+    def __init__(self, name: str, buffers: Sequence[ElasticBuffer],
+                 registry: Optional[MetricsRegistry] = None):
         super().__init__(name)
         self.buffers = list(buffers)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tokens = self.registry.gauge("eb_tokens", probe=name)
+        self._anti = self.registry.gauge("eb_anti_tokens", probe=name)
         self.token_samples: List[int] = []
         self.anti_samples: List[int] = []
 
@@ -119,8 +117,12 @@ class OccupancyProbe(Controller):
         return False
 
     def commit(self) -> None:
-        self.token_samples.append(sum(b.tokens for b in self.buffers))
-        self.anti_samples.append(sum(b.anti_tokens for b in self.buffers))
+        tokens = sum(b.tokens for b in self.buffers)
+        anti = sum(b.anti_tokens for b in self.buffers)
+        self.token_samples.append(tokens)
+        self.anti_samples.append(anti)
+        self._tokens.set(tokens)
+        self._anti.set(anti)
 
     @property
     def mean_tokens(self) -> float:

@@ -26,7 +26,19 @@ number is four machine words, bit ``i`` of plane ``j`` holding bit
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.faults.campaign import (
     CampaignConfig,
@@ -407,11 +419,16 @@ class BatchCampaignHarness:
     """
 
     def __init__(
-        self, target: RtlTarget, config: CampaignConfig, lanes: int = 64
+        self,
+        target: RtlTarget,
+        config: CampaignConfig,
+        lanes: int = 64,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.target = target
         self.config = config
         self.lanes = lanes
+        self.metrics = metrics
         self.sim = BatchSimulator(target.netlist, lanes)
         self.stimulus = make_stimulus(
             target.free_inputs, config.cycles, config.seed
@@ -453,10 +470,15 @@ class BatchCampaignHarness:
         edges = _activity_edges(injections)
         value_planes = sim.value_planes
         known_planes = sim.known_planes
+        metrics = self.metrics
+        cycles_run = busy_lanes = 0
         for t, packed in enumerate(self.packed):
             if t in edges:
                 sim.set_overrides(lane_overrides(injections, t))
             sim.cycle(packed)
+            if metrics is not None:
+                cycles_run += 1
+                busy_lanes += bin(alive).count("1")
             for monitor in bank:
                 for lane, violation in monitor.observe(
                     t, value_planes, known_planes, alive
@@ -467,6 +489,13 @@ class BatchCampaignHarness:
                     break
             if not alive:
                 break
+        if metrics is not None:
+            metrics.counter("batchsim_cycles_total").inc(cycles_run)
+            metrics.counter("batchsim_busy_lane_cycles_total").inc(busy_lanes)
+            metrics.gauge("batchsim_lane_utilization").set(
+                round(busy_lanes / (cycles_run * self.lanes), 6)
+                if cycles_run else 0.0
+            )
         outcomes: List[FaultOutcome] = []
         for lane, injection in enumerate(injections):
             violation = found.get(lane)

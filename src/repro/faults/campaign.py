@@ -37,7 +37,16 @@ import itertools
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.casestudy.processor import ProcessorConfig, build_processor
 from repro.elastic.behavioral import ElasticBuffer
@@ -63,6 +72,9 @@ from repro.faults.targets import TARGETS, RtlTarget
 from repro.rtl.logic import Value
 from repro.rtl.simulator import TwoPhaseSimulator
 from repro.verif.traces import TraceStep
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -107,6 +119,10 @@ class CampaignReport:
     seed: int
     cycles: int
     outcomes: List[FaultOutcome] = field(default_factory=list)
+    #: optional run metadata (wall time, cycles/sec, ...), absent from
+    #: the serialised report unless set -- the default report stays
+    #: byte-identical to the goldens.
+    metrics: Optional[Dict[str, object]] = None
 
     def counts(self) -> Dict[str, int]:
         counts = {"detected": 0, "latent": 0, "undetected": 0, "untestable": 0}
@@ -129,7 +145,7 @@ class CampaignReport:
         return [o for o in self.outcomes if o.status == "detected"]
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        d: Dict[str, object] = {
             "target": self.target,
             "seed": self.seed,
             "cycles": self.cycles,
@@ -137,6 +153,9 @@ class CampaignReport:
             "coverage": round(self.coverage, 6),
             "faults": [o.to_dict() for o in self.outcomes],
         }
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
+        return d
 
     def to_json(self) -> str:
         """Deterministic JSON (same seed => identical bytes)."""
@@ -393,6 +412,8 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     lanes: int = 1,
     jobs: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> CampaignReport:
     """Sweep every enumerated fault over ``target``.
 
@@ -401,6 +422,14 @@ def run_campaign(
     over worker processes (shard ``s`` takes chunks ``s, s+jobs, ...``
     of the sweep, so the assignment is deterministic).  Every
     combination yields a byte-identical report for the same seed.
+
+    ``progress`` is an optional ``fn(done_injections, total)`` hook
+    (called per classified chunk, or per completed shard when
+    ``jobs > 1``).  ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry`: verdicts are tallied
+    into ``campaign_faults_total{status,target}`` counters and, on the
+    batched in-process path, the kernel's lane utilization is gauged.
+    Neither affects the outcomes or the serialised report.
     """
     cfg = config or CampaignConfig()
     if lanes < 1:
@@ -413,9 +442,11 @@ def run_campaign(
     # Ship the target by name when we can: cheaper to pickle, and the
     # worker rebuilds it deterministically.
     spec: Union[str, RtlTarget] = target if isinstance(target, str) else tgt
+    total = len(injections)
     if jobs > 1 and len(chunks) > 1:
         shards = [chunks[s::jobs] for s in range(jobs)]
         indexed: Dict[int, List[FaultOutcome]] = {}
+        done = 0
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=len([s for s in shards if s]) or 1
         ) as pool:
@@ -427,14 +458,33 @@ def run_campaign(
             for future in concurrent.futures.as_completed(futures):
                 for index, chunk_outcomes in future.result():
                     indexed[index] = chunk_outcomes
+                    done += len(chunk_outcomes)
+                if progress is not None:
+                    progress(done, total)
         outcomes = [o for i in sorted(indexed) for o in indexed[i]]
+    elif lanes > 1:
+        from repro.faults.batch import BatchCampaignHarness
+
+        harness = BatchCampaignHarness(tgt, cfg, lanes, metrics=metrics)
+        outcomes = []
+        for _, chunk in chunks:
+            outcomes.extend(harness.run_chunk(chunk))
+            if progress is not None:
+                progress(len(outcomes), total)
     else:
-        outcomes = [
-            o for _, chunk in _run_chunks(spec, cfg, lanes, chunks)
-            for o in chunk
-        ]
+        scalar = CampaignHarness(tgt, cfg)
+        outcomes = []
+        for injection in injections:
+            outcomes.append(scalar.outcome(injection))
+            if progress is not None:
+                progress(len(outcomes), total)
     report = CampaignReport(target=tgt.name, seed=cfg.seed, cycles=cfg.cycles)
     report.outcomes = _apply_untestable_analysis(tgt, cfg, injections, outcomes)
+    if metrics is not None:
+        for outcome in report.outcomes:
+            metrics.counter(
+                "campaign_faults_total", status=outcome.status, target=tgt.name
+            ).inc()
     return report
 
 
@@ -542,11 +592,22 @@ def enumerate_processor_faults(
 
 def run_processor_campaign(
     config: Optional[ProcessorCampaignConfig] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> CampaignReport:
     """Sweep behavioural faults over the Sect. 7 elastic processor."""
     cfg = config or ProcessorCampaignConfig()
     golden = _golden_commits(cfg)
     report = CampaignReport(target="processor", seed=cfg.seed, cycles=cfg.cycles)
-    for fault in enumerate_processor_faults(cfg):
+    faults = enumerate_processor_faults(cfg)
+    for fault in faults:
         report.outcomes.append(_processor_outcome(cfg, fault, golden))
+        if progress is not None:
+            progress(len(report.outcomes), len(faults))
+    if metrics is not None:
+        for outcome in report.outcomes:
+            metrics.counter(
+                "campaign_faults_total", status=outcome.status,
+                target="processor",
+            ).inc()
     return report

@@ -1,0 +1,50 @@
+"""repro.obs -- unified observability for every simulator in the repo.
+
+Four pieces, usable separately or together:
+
+* :class:`TraceRecorder` (:mod:`repro.obs.recorder`) -- cycle-stamped
+  structured events from the behavioural network, the scalar RTL
+  simulator and the 64-lane batch kernel, into a bounded ring buffer
+  and pluggable sinks;
+* exporters -- :class:`VcdSink` (GTKWave waveforms) and
+  :class:`JsonlSink` (one JSON object per event);
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) -- labeled
+  counters / gauges / histograms with a deterministic snapshot API;
+* profiling -- :class:`PhaseProfiler` wall-time accumulation and
+  :class:`ProgressReporter` throttled progress lines.
+
+The CLI surfaces this as ``repro trace`` (waveforms + event streams),
+``repro stats`` (the metrics snapshot of a simulation) and
+``repro inject --metrics`` (campaign run metadata).
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SummaryStats,
+    summarize,
+)
+from repro.obs.profile import PhaseProfiler, ProgressReporter
+from repro.obs.recorder import JsonlSink, TraceRecorder, collect_network_metrics
+from repro.obs.vcd import VcdSink, VcdWriter
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SummaryStats",
+    "summarize",
+    "PhaseProfiler",
+    "ProgressReporter",
+    "JsonlSink",
+    "TraceRecorder",
+    "collect_network_metrics",
+    "VcdSink",
+    "VcdWriter",
+]

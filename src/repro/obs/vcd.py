@@ -1,0 +1,145 @@
+"""VCD (Value Change Dump) export, viewable in GTKWave.
+
+:class:`VcdWriter` is a small streaming writer for 1-bit wires: declare
+wires (grouped into ``$scope module`` blocks), then feed monotonically
+non-decreasing ``(time, wire, value)`` changes.  Values are ``0``,
+``1`` or ``X`` (written as ``x``); every wire starts as ``x`` in
+``$dumpvars`` so the first settled cycle paints the initial picture.
+
+:class:`VcdSink` adapts the writer to the
+:class:`~repro.obs.recorder.TraceRecorder` sink protocol: it consumes
+``edge`` / ``x-onset`` events (subject = wire name) and ignores the
+rest.  Subjects are split at their last ``.`` into (scope, wire), so a
+dual channel ``C->W`` shows up in GTKWave as a module with its four
+``{V+, S+, V-, S-}`` wires, and an RTL net ``eb.t0`` lands in scope
+``eb``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.obs.events import TraceEvent
+from repro.rtl.logic import X
+
+__all__ = ["VcdSink", "VcdWriter", "vcd_identifier"]
+
+_ID_FIRST, _ID_LAST = 33, 126  # printable ASCII, the VCD id alphabet
+
+
+def vcd_identifier(index: int) -> str:
+    """The ``index``-th VCD identifier code (base-94, shortest first)."""
+    span = _ID_LAST - _ID_FIRST + 1
+    chars = [chr(_ID_FIRST + index % span)]
+    index //= span
+    while index:
+        index -= 1
+        chars.append(chr(_ID_FIRST + index % span))
+        index //= span
+    return "".join(reversed(chars))
+
+
+def _sanitize(name: str) -> str:
+    """A GTKWave-safe identifier: no whitespace or VCD metacharacters."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch in "_.[]") else "_")
+    return "".join(out) or "_"
+
+
+class VcdWriter:
+    """Streaming VCD writer for single-bit wires."""
+
+    def __init__(self, handle: TextIO, timescale: str = "1 ns",
+                 comment: str = "repro.obs trace"):
+        self._handle = handle
+        self._timescale = timescale
+        self._comment = comment
+        #: wire name -> (identifier code, scope)
+        self._wires: Dict[str, Tuple[str, str]] = {}
+        self._scopes: Dict[str, List[str]] = {}
+        self._header_done = False
+        self._time: Optional[int] = None
+
+    def add_wire(self, name: str, scope: str = "top") -> str:
+        """Declare a 1-bit wire; must precede the first change."""
+        if self._header_done:
+            raise RuntimeError("cannot declare wires after the header")
+        if name in self._wires:
+            return self._wires[name][0]
+        code = vcd_identifier(len(self._wires))
+        self._wires[name] = (code, scope)
+        self._scopes.setdefault(scope, []).append(name)
+        return code
+
+    def write_header(self) -> None:
+        """Emit the declaration section and the all-``x`` ``$dumpvars``."""
+        if self._header_done:
+            return
+        w = self._handle.write
+        w(f"$comment {self._comment} $end\n")
+        w(f"$timescale {self._timescale} $end\n")
+        for scope, names in self._scopes.items():
+            w(f"$scope module {_sanitize(scope)} $end\n")
+            for name in names:
+                code, _ = self._wires[name]
+                short = name[len(scope) + 1:] if name.startswith(scope + ".") else name
+                w(f"$var wire 1 {code} {_sanitize(short)} $end\n")
+            w("$upscope $end\n")
+        w("$enddefinitions $end\n")
+        w("$dumpvars\n")
+        for name in self._wires:
+            w(f"x{self._wires[name][0]}\n")
+        w("$end\n")
+        self._header_done = True
+
+    def change(self, time: int, name: str, value: object) -> None:
+        """Record ``name`` settling to ``value`` (0/1/X) at ``time``."""
+        if not self._header_done:
+            self.write_header()
+        code, _ = self._wires[name]
+        if self._time is None or time > self._time:
+            self._handle.write(f"#{time}\n")
+            self._time = time
+        elif time < self._time:
+            raise ValueError(f"time went backwards: {time} < {self._time}")
+        bit = "x" if value is X or value == "x" else ("1" if value else "0")
+        self._handle.write(f"{bit}{code}\n")
+
+    def close(self, end_time: Optional[int] = None) -> None:
+        """Finish the dump (writes the header even if nothing changed)."""
+        if not self._header_done:
+            self.write_header()
+        if end_time is not None and (self._time is None or end_time > self._time):
+            self._handle.write(f"#{end_time}\n")
+
+
+class VcdSink:
+    """A trace sink writing ``edge``/``x-onset`` events as a VCD file."""
+
+    def __init__(self, target: Union[str, TextIO], timescale: str = "1 ns"):
+        if isinstance(target, str):
+            self._handle: TextIO = open(target, "w")
+            self._owned = True
+        else:
+            self._handle = target
+            self._owned = False
+        self.writer = VcdWriter(self._handle, timescale=timescale)
+
+    def declare_wire(self, subject: str) -> None:
+        scope, _, _ = subject.rpartition(".")
+        self.writer.add_wire(subject, scope=scope or "top")
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind == "edge":
+            self.writer.change(event.cycle, event.subject, event.value)
+        elif event.kind == "x-onset":
+            self.writer.change(event.cycle, event.subject, X)
+
+    def close(self) -> None:
+        self.writer.close()
+        if self._owned:
+            self._handle.close()
+        elif not isinstance(self._handle, io.StringIO):
+            self._handle.flush()

@@ -44,7 +44,8 @@ loads, every gate output and transparent-latch outputs -- so a batch of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.rtl.logic import Value, X, is_known
 from repro.rtl.netlist import Netlist, Phase
@@ -232,6 +233,14 @@ class BatchSimulator:
         self._ov: List[Optional[LaneOverride]] = [None] * self._nslots
         self.state: Dict[int, Planes] = {}
         self.time = 0
+        #: end-of-cycle observers ``fn(time, sim)`` called by
+        #: :meth:`cycle` with the index of the cycle just simulated.
+        #: Empty by default (one truthiness check per cycle).
+        self.observers: List[Callable[[int, "BatchSimulator"], None]] = []
+        #: optional :class:`~repro.obs.profile.PhaseProfiler`: when set,
+        #: the two compiled phase programs are timed individually under
+        #: the phase names ``"high"`` and ``"low"``.
+        self.profile = None
         self.reset()
 
     # -- compilation ---------------------------------------------------
@@ -433,17 +442,32 @@ class BatchSimulator:
                 iv, ik = o.apply(iv & mask, ik & mask)
             v[slot] = iv & mask
             k[slot] = ik & mask
+        profile = self.profile
         self._load_state(self._load_high)
-        self._run_high(v, k, ov, mask)
+        if profile is None:
+            self._run_high(v, k, ov, mask)
+        else:
+            t0 = perf_counter()
+            self._run_high(v, k, ov, mask)
+            profile.add("high", perf_counter() - t0)
         state = self.state
         for slot in self._capture_high:
             state[slot] = (v[slot], k[slot])
         self._load_state(self._load_low)
-        self._run_low(v, k, ov, mask)
+        if profile is None:
+            self._run_low(v, k, ov, mask)
+        else:
+            t0 = perf_counter()
+            self._run_low(v, k, ov, mask)
+            profile.add("low", perf_counter() - t0)
         for slot in self._capture_low:
             state[slot] = (v[slot], k[slot])
         for qslot, dslot in self._flops:
             state[qslot] = (v[dslot], k[dslot])
+        if self.observers:
+            t = self.time
+            for observer in self.observers:
+                observer(t, self)
         self.time += 1
 
     # -- observation ---------------------------------------------------

@@ -105,6 +105,11 @@ class TwoPhaseSimulator:
         self.state: State = self.initial_state()
         self.values: Values = {}
         self.time = 0
+        #: end-of-cycle observers ``fn(time, values)`` called by
+        #: :meth:`cycle` with the index of the cycle just simulated and
+        #: its settled values.  Empty by default (one truthiness check
+        #: per cycle); :mod:`repro.obs` attaches trace recorders here.
+        self.observers: List[Callable[[int, Values], None]] = []
 
     # ------------------------------------------------------------------
     def initial_state(self) -> State:
@@ -262,6 +267,9 @@ class TwoPhaseSimulator:
         values, next_state = self.step_function(self.state, inputs or {})
         self.state = next_state
         self.values = values
+        if self.observers:
+            for observer in self.observers:
+                observer(self.time, values)
         self.time += 1
         return values
 

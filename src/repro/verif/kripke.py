@@ -78,6 +78,8 @@ def build_kripke(
     netlist: Netlist,
     observe: Optional[Sequence[str]] = None,
     max_states: int = 500_000,
+    progress: Optional[Callable[[int, int], None]] = None,
+    progress_every: int = 1024,
 ) -> KripkeStructure:
     """Enumerate the reachable Kripke structure of ``netlist``.
 
@@ -88,6 +90,11 @@ def build_kripke(
         observe: signal names to expose as atomic propositions
             (defaults to the netlist's declared outputs plus inputs).
         max_states: safety bound on the exploration.
+        progress: optional ``fn(explored_states, frontier_size)`` hook
+            (e.g. a :class:`~repro.obs.profile.ProgressReporter`),
+            called every ``progress_every`` newly discovered sequential
+            states and once more when the frontier drains.
+        progress_every: how many new states between progress calls.
 
     Returns:
         The reachable :class:`KripkeStructure`.
@@ -129,7 +136,11 @@ def build_kripke(
                 seq_index[nk] = len(seq_states)
                 seq_states.append({n: next_state[n] for n in state_names})
                 frontier.append(seq_index[nk])
+                if progress is not None and len(seq_states) % progress_every == 0:
+                    progress(len(seq_states), len(frontier))
             transition[(si, ii)] = (seq_index[nk], label)
+    if progress is not None:
+        progress(len(seq_states), 0)
 
     # Second pass: fold inputs into Kripke states.
     n_inputs = len(input_combos)

@@ -1,0 +1,98 @@
+"""Tests for the labeled metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, SummaryStats, summarize
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("transfers", channel="a")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1) is reg.counter("x", a=1)
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_different_labels_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("x", ch="a").inc()
+        assert reg.counter("x", ch="b").value == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_running_moments(self):
+        g = MetricsRegistry().gauge("occ")
+        for v in (1, 5, 3):
+            g.set(v)
+        assert g.last == 3
+        assert g.minimum == 1 and g.maximum == 5
+        assert g.mean == pytest.approx(3.0)
+
+    def test_snapshot_shape(self):
+        g = MetricsRegistry().gauge("occ")
+        g.set(2.0)
+        snap = g.snapshot()
+        assert set(snap) == {"last", "mean", "min", "max", "n"}
+
+
+class TestHistogram:
+    def test_stats_match_summarize(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(v)
+        s = h.stats()
+        assert s.p50 == 50 and s.p95 == 95 and s.maximum == 100
+
+    def test_snapshot_empty(self):
+        assert MetricsRegistry().histogram("lat").snapshot()["count"] == 0
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="counter"):
+            reg.gauge("x")
+
+    def test_snapshot_is_sorted_and_keyed(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", ch="z").inc(2)
+        snap = reg.snapshot()
+        assert list(snap) == ["a{ch=z}", "b"]
+        assert snap["a{ch=z}"] == 2
+
+    def test_series_filters_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("x", ch="a")
+        reg.counter("x", ch="b")
+        reg.counter("y")
+        assert [m.key for m in reg.series("x")] == ["x{ch=a}", "x{ch=b}"]
+
+    def test_render_mentions_every_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(7)
+        reg.gauge("occ").set(1.5)
+        text = reg.render()
+        assert "hits" in text and "occ" in text and "7" in text
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s == SummaryStats(0, 0.0, 0.0, 0.0, 0)
+
+    def test_str_format(self):
+        assert str(summarize([1, 2, 3])).startswith("n=3 mean=2.00")

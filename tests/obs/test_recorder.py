@@ -1,0 +1,184 @@
+"""Tests for the TraceRecorder across the behavioural simulator."""
+
+import io
+import json
+
+from repro.elastic.behavioral import (
+    ElasticBuffer,
+    ElasticNetwork,
+    Sink,
+    Source,
+)
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    TraceRecorder,
+    collect_network_metrics,
+)
+
+
+def pipeline(stages=2, **sink_kwargs):
+    net = ElasticNetwork("pipe")
+    chans = [net.add_channel(f"c{i}") for i in range(stages + 1)]
+    net.add(Source("src", chans[0]))
+    for i in range(stages):
+        net.add(ElasticBuffer(f"eb{i}", chans[i], chans[i + 1]))
+    net.add(Sink("snk", chans[-1], **sink_kwargs))
+    return net
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_events(self):
+        rec = TraceRecorder(capacity=8)
+        for t in range(100):
+            rec.emit(t, "edge", "w", 1)
+        assert len(rec.events) == 8
+        assert rec.events[0].cycle == 92  # oldest evicted first
+        assert rec.emitted == 100
+
+    def test_counts_survive_eviction(self):
+        rec = TraceRecorder(capacity=4)
+        for t in range(10):
+            rec.emit(t, "transfer+", "ch")
+        assert rec.counts() == {"transfer+": 10}
+
+
+class TestNetworkAttachment:
+    def test_transfer_events_match_channel_stats(self):
+        net = pipeline()
+        rec = TraceRecorder().attach_network(net)
+        net.run(50)
+        counts = rec.counts()
+        stats_total = sum(
+            net.channels[c].stats.positive for c in net.channels
+        )
+        assert counts["transfer+"] == stats_total > 0
+
+    def test_metrics_reconcile_with_trace(self):
+        net = pipeline()
+        registry = MetricsRegistry()
+        rec = TraceRecorder(metrics=registry).attach_network(net)
+        net.run(50)
+        collect_network_metrics(net, registry)
+        counted = sum(
+            c.value for c in registry.series("channel_transfers_total")
+        )
+        traced = (rec.counts().get("transfer+", 0)
+                  + rec.counts().get("transfer-", 0))
+        assert traced == counted
+
+    def test_kill_events_recorded(self):
+        import random
+
+        net = ElasticNetwork("killy")
+        a, b = net.add_channel("a"), net.add_channel("b")
+        net.add(Source("src", a))
+        net.add(ElasticBuffer("eb", a, b))
+        net.add(Sink("snk", b, p_kill=0.5, rng=random.Random(7)))
+        rec = TraceRecorder().attach_network(net)
+        net.run(100)
+        counts = rec.counts()
+        assert counts.get("kill", 0) > 0 or counts.get("transfer-", 0) > 0
+
+    def test_idle_skipped_unless_requested(self):
+        import random
+
+        def sparse():
+            net = ElasticNetwork("sparse")
+            a, b = net.add_channel("a"), net.add_channel("b")
+            net.add(Source("src", a, p_valid=0.1, rng=random.Random(3)))
+            net.add(ElasticBuffer("eb", a, b))
+            net.add(Sink("snk", b))
+            return net
+
+        net = sparse()
+        quiet = TraceRecorder().attach_network(net)
+        net.run(50)
+        assert "idle" not in quiet.counts()
+
+        net = sparse()
+        loud = TraceRecorder().attach_network(net, include_idle=True)
+        net.run(50)
+        assert loud.counts()["idle"] > 0
+
+    def test_channel_subset(self):
+        net = pipeline()
+        rec = TraceRecorder().attach_network(net, channels=["c0"])
+        net.run(20)
+        subjects = {e.subject.split(".")[0] for e in rec.events}
+        assert subjects == {"c0"}
+
+
+class TestDisabledRecorder:
+    def test_attaches_nothing(self):
+        net = pipeline()
+        rec = TraceRecorder(enabled=False)
+        assert rec.attach_network(net) is rec
+        assert all(not net.channels[c].observers for c in net.channels)
+        assert not net.probes
+
+    def test_output_identical_to_untraced_run(self):
+        untraced = pipeline()
+        untraced.run(80)
+
+        traced = pipeline()
+        rec = TraceRecorder(enabled=False).attach_network(traced)
+        traced.run(80)
+
+        assert rec.emitted == 0
+        assert traced.report() == untraced.report()
+
+    def test_emit_is_noop(self):
+        rec = TraceRecorder(enabled=False)
+        rec.emit(0, "edge", "w", 1)
+        assert rec.emitted == 0 and not rec.events
+
+
+class TestEarlyEvalEvents:
+    def test_fig9_join_fires(self):
+        from repro.casestudy.fig9 import Config, build_fig9_spec
+        from repro.synthesis.elaborate import to_behavioral
+
+        net = to_behavioral(build_fig9_spec(Config.ACTIVE, seed=0), seed=0)
+        registry = MetricsRegistry()
+        rec = TraceRecorder(metrics=registry).attach_network(net)
+        net.run(200)
+        counts = rec.counts()
+        assert counts.get("ee-fire", 0) > 0
+        fires = registry.series("ee_firings_total")
+        assert fires and sum(c.value for c in fires) == counts["ee-fire"]
+        early = sum(c.value for c in registry.series("ee_early_firings_total"))
+        assert 0 < early <= counts["ee-fire"]
+        ee = next(e for e in rec.events if e.kind == "ee-fire")
+        assert "early" in ee.extra and "missing" in ee.extra
+
+
+class TestJsonlSink:
+    def test_round_trip(self):
+        buffer = io.StringIO()
+        net = pipeline()
+        rec = TraceRecorder(sinks=[JsonlSink(buffer)]).attach_network(net)
+        net.run(10)
+        rec.close()
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == rec.emitted > 0
+        for line in lines:
+            obj = json.loads(line)
+            assert {"t", "kind", "subject"} <= set(obj)
+
+    def test_jsonl_transfer_count_matches_metrics(self):
+        buffer = io.StringIO()
+        net = pipeline()
+        registry = MetricsRegistry()
+        rec = TraceRecorder(
+            sinks=[JsonlSink(buffer)], metrics=registry
+        ).attach_network(net)
+        net.run(40)
+        rec.close()
+        collect_network_metrics(net, registry)
+        events = [json.loads(l) for l in buffer.getvalue().splitlines()]
+        jsonl_transfers = sum(1 for e in events if e["kind"] == "transfer+")
+        counted = sum(
+            c.value for c in registry.series("channel_transfers_total")
+        )
+        assert jsonl_transfers == counted

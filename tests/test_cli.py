@@ -107,6 +107,75 @@ class TestInject:
             main(["inject", "--fault", ""])
 
 
+class TestInjectMetrics:
+    def test_metrics_flag_adds_report_metadata(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "campaign.json"
+        assert main([
+            "inject", "--netlist", "dual_ehb", "--cycles", "120",
+            "--lanes", "8", "--metrics", "--report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wall time:" in out
+        assert "campaign_faults_total" in out
+        data = json.loads(report.read_text())
+        meta = data["metrics"]
+        assert meta["lanes"] == 8 and meta["jobs"] == 1
+        assert meta["wall_time_s"] > 0
+        assert meta["injections"] == len(data["faults"])
+        assert "batchsim_lane_utilization" in meta["series"]
+
+    def test_default_report_has_no_metrics_key(self, tmp_path):
+        import json
+
+        report = tmp_path / "campaign.json"
+        assert main([
+            "inject", "--netlist", "dual_ehb", "--cycles", "120",
+            "--report", str(report),
+        ]) == 0
+        assert "metrics" not in json.loads(report.read_text())
+
+    def test_progress_lines_on_stderr(self, capsys):
+        assert main([
+            "inject", "--netlist", "dual_ehb", "--cycles", "120",
+            "--lanes", "64", "--progress",
+        ]) == 0
+        assert "campaign:" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_pipeline_trace_writes_artifacts(self, tmp_path, capsys):
+        vcd = tmp_path / "out.vcd"
+        events = tmp_path / "out.jsonl"
+        assert main([
+            "trace", "--config", "pipeline", "--cycles", "24",
+            "--vcd", str(vcd), "--events", str(events),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation:" in out and "OK" in out
+        assert vcd.read_text().startswith("$comment")
+        assert events.read_text().count("\n") > 0
+
+    def test_fig9_config_traces(self, capsys):
+        assert main(["trace", "--config", "active", "--cycles", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "transfer+" in out and "ee-fire" in out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--config", "bogus"])
+
+
+class TestStats:
+    def test_stats_prints_registry(self, capsys):
+        assert main(["stats", "--config", "active", "--cycles", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "channel_throughput" in out
+        assert "eb_tokens" in out
+        assert "ee_firings_total" in out
+
+
 class TestInjectLanes:
     def test_lanes_and_jobs_report_is_byte_identical(self, tmp_path):
         sequential = tmp_path / "seq.json"

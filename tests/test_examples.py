@@ -30,6 +30,12 @@ def test_exception_flush(capsys):
     assert "wrong-path instructions cancelled" in out
 
 
+def test_trace_waveforms(capsys):
+    out = _run("trace_waveforms.py", capsys)
+    assert "counters reconcile across all three exports" in out
+    assert "gtkwave" in out
+
+
 @pytest.mark.slow
 def test_variable_latency_alu(capsys):
     out = _run("variable_latency_alu.py", capsys)
