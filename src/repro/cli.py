@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro table1   [--cycles 10000] [--seed 2007]
     python -m repro simulate --config active [--cycles 5000] [--seed 0]
     python -m repro verify   [--design diamond|early|vl]
+                             [--checkpoint dir]
     python -m repro export   --format verilog|blif|smv|dot
                              [--config active] [-o out.v]
     python -m repro bound    [--config lazy]
@@ -13,6 +14,8 @@ Usage (after ``pip install -e .``)::
                              [--fault stuck0,stuck1] [--cycles 400]
                              [--seed 2007] [--report out.json] [--shrink]
                              [--metrics] [--progress]
+                             [--checkpoint dir] [--resume dir]
+                             [--shard-timeout 60] [--max-retries 2]
     python -m repro trace    [--config active|...|pipeline] [--cycles 64]
                              [--vcd out.vcd] [--events out.jsonl]
     python -m repro stats    [--config active] [--cycles 5000] [--seed 0]
@@ -60,11 +63,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.resilience import CheckpointMismatch
     from repro.verif.properties import verify_netlist
     from repro.verif.testbenches import DESIGNS, diamond_with_feedback
 
     nl, chans, fairness = diamond_with_feedback(**DESIGNS[args.design])
-    result = verify_netlist(nl, chans, fairness=fairness, max_states=2_000_000)
+    try:
+        result = verify_netlist(
+            nl, chans, fairness=fairness, max_states=2_000_000,
+            checkpoint=args.checkpoint,
+        )
+    except CheckpointMismatch as exc:
+        raise SystemExit(str(exc))
     print(result)
     return 0 if result.ok else 1
 
@@ -230,6 +240,26 @@ def cmd_inject(args: argparse.Namespace) -> int:
         )
     if args.lanes < 1 or args.jobs < 1:
         raise SystemExit("--lanes and --jobs must be positive")
+    checkpoint = args.checkpoint
+    if args.resume:
+        if checkpoint and checkpoint != args.resume:
+            raise SystemExit(
+                "--checkpoint and --resume name different directories; "
+                "--resume alone is enough to continue a run"
+            )
+        from pathlib import Path
+
+        if not (Path(args.resume) / "manifest.json").is_file():
+            raise SystemExit(
+                f"--resume {args.resume}: no checkpoint manifest found "
+                "(start the campaign with --checkpoint first)"
+            )
+        checkpoint = args.resume
+    if args.netlist == "processor" and checkpoint:
+        raise SystemExit(
+            "--checkpoint/--resume need an RTL netlist; the behavioural "
+            "processor campaign is not checkpointed"
+        )
     registry = None
     if args.metrics:
         from repro.obs import MetricsRegistry
@@ -261,10 +291,27 @@ def cmd_inject(args: argparse.Namespace) -> int:
         config = CampaignConfig(
             cycles=args.cycles, seed=args.seed, kinds=kinds
         )
-        report = run_campaign(
-            args.netlist, config, lanes=args.lanes, jobs=args.jobs,
-            progress=progress, metrics=registry,
-        )
+        from repro.resilience import CheckpointMismatch, ShardFailure
+
+        try:
+            report = run_campaign(
+                args.netlist, config, lanes=args.lanes, jobs=args.jobs,
+                progress=progress, metrics=registry,
+                checkpoint=checkpoint,
+                shard_timeout=args.shard_timeout,
+                max_retries=args.max_retries,
+            )
+        except KeyboardInterrupt:
+            hint = (
+                f"; resume with --resume {checkpoint}" if checkpoint else ""
+            )
+            print(f"\ninterrupted; worker processes terminated{hint}",
+                  file=sys.stderr)
+            return 130
+        except CheckpointMismatch as exc:
+            raise SystemExit(str(exc))
+        except ShardFailure as exc:
+            raise SystemExit(f"campaign failed: {exc}")
         if args.shrink:
             detected = report.detected()
             if detected:
@@ -351,6 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="model check a controller netlist")
     p.add_argument("--design", choices=("diamond", "early", "vl"),
                    default="early")
+    p.add_argument("--checkpoint", default=None,
+                   help="directory for periodic state-space snapshots; "
+                        "rerunning with the same directory resumes an "
+                        "interrupted build")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("export", help="emit Verilog / BLIF / SMV / DOT")
@@ -396,6 +447,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "to the goldens")
     p.add_argument("--progress", action="store_true",
                    help="print progress lines while the sweep runs")
+    p.add_argument("--checkpoint", default=None,
+                   help="directory that receives one atomic file per "
+                        "classified chunk; a rerun with the same directory "
+                        "skips completed chunks and reproduces the "
+                        "uninterrupted report byte for byte")
+    p.add_argument("--resume", default=None,
+                   help="continue from an existing checkpoint directory "
+                        "(errors if no manifest is present; implies "
+                        "--checkpoint)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   help="per-chunk deadline in seconds when --jobs > 1; a "
+                        "worker that blows it is killed and its chunk "
+                        "requeued")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="how many times a crashed/hung/erroring chunk is "
+                        "requeued before the campaign fails (default 2)")
     p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser(

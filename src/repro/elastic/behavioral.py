@@ -841,6 +841,19 @@ class ElasticNetwork:
         self._saboteurs.append(saboteur)
         return saboteur
 
+    def add_probe(
+        self, probe: Callable[["ElasticNetwork"], None]
+    ) -> Callable[["ElasticNetwork"], None]:
+        """Register a post-commit probe ``fn(net)`` (see :attr:`probes`).
+
+        Probes run once per settled cycle with the channel wires still
+        valid and ``net.cycle`` naming the cycle just simulated -- the
+        attachment point for occupancy sampling, metrics collection and
+        the :class:`~repro.resilience.NetworkStallWatchdog`.
+        """
+        self.probes.append(probe)
+        return probe
+
     def add_channel(self, name: str, monitor: bool = True, check_data: bool = True) -> Channel:
         """Create and register a channel."""
         if name in self.channels:

@@ -49,6 +49,7 @@ from repro.faults.campaign import (
 from repro.faults.models import Injection
 from repro.faults.monitors import EbProbe, Violation
 from repro.faults.targets import RtlTarget
+from repro.resilience.checkpoint import CheckpointStore
 from repro.rtl.batchsim import (
     BatchSimulator,
     LaneOverride,
@@ -526,23 +527,13 @@ class BatchCampaignHarness:
         return outcomes
 
 
-def run_seed_sweep(
-    target,
+def _seed_sweep_chunk(
+    tgt: RtlTarget,
     injection: Injection,
     seeds: Sequence[int],
-    config: Optional[CampaignConfig] = None,
+    cfg: CampaignConfig,
 ) -> List[FaultOutcome]:
-    """One fault under many stimulus seeds, one seed per lane.
-
-    Lane ``i`` replays the campaign of ``CampaignConfig(seed=seeds[i])``
-    -- its own stimulus, its own golden reference -- all in two batched
-    runs (golden + faulty).  Returns one outcome per seed, each
-    identical to what the scalar harness reports for that seed
-    (untestable analysis is a per-fault property and is left to the
-    caller).
-    """
-    cfg = config or CampaignConfig()
-    tgt = resolve_target(target)
+    """One batched golden+faulty pass over up to a word of seeds."""
     lanes = len(seeds)
     sim = BatchSimulator(tgt.netlist, lanes)
     stimuli = [
@@ -619,3 +610,56 @@ def run_seed_sweep(
                 fault=injection.label(), status="undetected"
             ))
     return outcomes
+
+
+def run_seed_sweep(
+    target,
+    injection: Injection,
+    seeds: Sequence[int],
+    config: Optional[CampaignConfig] = None,
+    lanes: int = 64,
+    checkpoint: Optional[str] = None,
+) -> List[FaultOutcome]:
+    """One fault under many stimulus seeds, one seed per lane.
+
+    Lane ``i`` replays the campaign of ``CampaignConfig(seed=seeds[i])``
+    -- its own stimulus, its own golden reference -- batched ``lanes``
+    seeds at a time (golden + faulty run per batch).  Returns one
+    outcome per seed, each identical to what the scalar harness reports
+    for that seed (untestable analysis is a per-fault property and is
+    left to the caller).
+
+    ``checkpoint`` names a directory that persists each completed seed
+    batch atomically; rerunning with the same directory validates the
+    sweep fingerprint, skips finished batches and returns the same
+    outcome list an uninterrupted sweep would.
+    """
+    cfg = config or CampaignConfig()
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    tgt = resolve_target(target)
+    seeds = list(seeds)
+    chunks = [seeds[i:i + lanes] for i in range(0, len(seeds), lanes)]
+    store: Optional[CheckpointStore] = None
+    by_index: Dict[int, List[FaultOutcome]] = {}
+    if checkpoint is not None:
+        store = CheckpointStore(checkpoint)
+        store.ensure_manifest({
+            "kind": "seed_sweep",
+            "target": tgt.name,
+            "injection": injection.label(),
+            "cycles": cfg.cycles,
+            "seeds": seeds,
+            "lanes": lanes,
+        })
+        for index, payload in store.chunks().items():
+            if 0 <= index < len(chunks) and isinstance(payload, list):
+                by_index[index] = [FaultOutcome(**d) for d in payload]
+    for index, chunk in enumerate(chunks):
+        if index in by_index:
+            continue
+        outcomes = _seed_sweep_chunk(tgt, injection, chunk, cfg)
+        by_index[index] = outcomes
+        if store is not None:
+            store.save_chunk(index, [o.to_dict() for o in outcomes])
+    return [o for index in sorted(by_index) for o in by_index[index]]

@@ -26,13 +26,17 @@ RTL campaigns scale two ways, composable and both bit-identical to the
 sequential sweep: ``lanes > 1`` classifies up to 64 injections per
 simulation on the bit-parallel kernel
 (:class:`~repro.faults.batch.BatchCampaignHarness`), and ``jobs > 1``
-shards the injection chunks over worker processes with a deterministic
-round-robin assignment, merging results back into sweep order.
+shards the injection chunks over the crash-tolerant
+:class:`~repro.resilience.ShardSupervisor` (dead/hung workers are
+detected and their chunks requeued), merging results back into sweep
+order.  A ``checkpoint`` directory makes either flavour resumable: each
+classified chunk is persisted atomically, and a rerun pointed at the
+same directory skips completed chunks and still emits byte-for-byte the
+same JSON report as an uninterrupted run.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import itertools
 import json
 import random
@@ -69,6 +73,8 @@ from repro.faults.monitors import (
     channel_monitors,
 )
 from repro.faults.targets import TARGETS, RtlTarget
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
 from repro.rtl.logic import Value
 from repro.rtl.simulator import TwoPhaseSimulator
 from repro.verif.traces import TraceStep
@@ -276,6 +282,12 @@ class CampaignHarness:
             )
         return FaultOutcome(fault=injection.label(), status="undetected")
 
+    def run_chunk(
+        self, injections: Sequence[Injection]
+    ) -> List[FaultOutcome]:
+        """Classify a chunk of injections one at a time (sweep order)."""
+        return [self.outcome(injection) for injection in injections]
+
 
 def enumerate_injections(
     target: RtlTarget, config: CampaignConfig
@@ -353,29 +365,56 @@ def _chunked(
     return [list(items[i:i + size]) for i in range(0, len(items), size)]
 
 
-def _run_chunks(
-    target: Union[str, RtlTarget],
+def _make_harness(
+    tgt: RtlTarget,
     config: CampaignConfig,
     lanes: int,
-    chunks: Sequence[Tuple[int, List[Injection]]],
-) -> List[Tuple[int, List[FaultOutcome]]]:
-    """Classify ``(index, chunk)`` pairs with one harness; keep indices.
-
-    Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
-    pickle it; each worker builds its own harness (and golden run) once
-    and reuses it across its chunks.
-    """
-    tgt = resolve_target(target)
+    degrade: bool,
+    metrics: Optional["MetricsRegistry"],
+):
+    """The chunk-classifying harness for one (target, lanes) combination."""
     if lanes > 1:
+        if degrade:
+            from repro.resilience.degrade import DegradingCampaignHarness
+
+            return DegradingCampaignHarness(tgt, config, lanes, metrics=metrics)
         from repro.faults.batch import BatchCampaignHarness
 
-        batch = BatchCampaignHarness(tgt, config, lanes)
-        return [(index, batch.run_chunk(chunk)) for index, chunk in chunks]
-    harness = CampaignHarness(tgt, config)
-    return [
-        (index, [harness.outcome(injection) for injection in chunk])
-        for index, chunk in chunks
-    ]
+        return BatchCampaignHarness(tgt, config, lanes, metrics=metrics)
+    return CampaignHarness(tgt, config)
+
+
+def _chunk_worker(
+    spec: Union[str, RtlTarget],
+    config: CampaignConfig,
+    lanes: int,
+    degrade: bool,
+) -> Callable[[List[Injection]], List[FaultOutcome]]:
+    """Worker-process initialiser for the shard supervisor.
+
+    Top-level so :mod:`multiprocessing` can pickle it; each worker
+    builds its harness (and golden run) once and serves chunks with it.
+    """
+    tgt = resolve_target(spec)
+    return _make_harness(tgt, config, lanes, degrade, None).run_chunk
+
+
+def _campaign_fingerprint(
+    tgt: RtlTarget, config: CampaignConfig, lanes: int, total: int
+) -> Dict[str, object]:
+    """What a checkpoint directory is committed to: the sweep geometry."""
+    return {
+        "kind": "campaign",
+        "target": tgt.name,
+        "seed": config.seed,
+        "cycles": config.cycles,
+        "kinds": list(config.kinds),
+        "injection_cycles": list(config.injection_cycles),
+        "flip_duration": config.flip_duration,
+        "untestable_analysis": config.untestable_analysis,
+        "lanes": lanes,
+        "total": total,
+    }
 
 
 def _apply_untestable_analysis(
@@ -414,21 +453,38 @@ def run_campaign(
     jobs: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    checkpoint: Optional[str] = None,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    degrade: bool = True,
 ) -> CampaignReport:
     """Sweep every enumerated fault over ``target``.
 
     ``lanes > 1`` batches that many injections per simulation on the
     bit-parallel kernel; ``jobs > 1`` additionally spreads the chunks
-    over worker processes (shard ``s`` takes chunks ``s, s+jobs, ...``
-    of the sweep, so the assignment is deterministic).  Every
-    combination yields a byte-identical report for the same seed.
+    over supervised worker processes -- a worker that dies or blows the
+    per-chunk ``shard_timeout`` has its chunk requeued (up to
+    ``max_retries`` times, with capped exponential backoff) instead of
+    sinking the campaign.  Every combination yields a byte-identical
+    report for the same seed.
+
+    ``checkpoint`` names a directory that receives one atomic JSON file
+    per classified chunk; rerunning with the same directory (after a
+    crash, a SIGKILL, Ctrl-C) validates the sweep fingerprint, skips
+    the completed chunks and produces the byte-identical report of an
+    uninterrupted run.
+
+    ``degrade`` (default on, only meaningful with ``lanes > 1``) wraps
+    the batch kernel in the graceful-degradation harness: a corrupt or
+    faulted lane is quarantined and replayed on the scalar simulator
+    rather than poisoning its whole chunk.
 
     ``progress`` is an optional ``fn(done_injections, total)`` hook
-    (called per classified chunk, or per completed shard when
-    ``jobs > 1``).  ``metrics`` is an optional
+    (called per classified chunk).  ``metrics`` is an optional
     :class:`~repro.obs.metrics.MetricsRegistry`: verdicts are tallied
-    into ``campaign_faults_total{status,target}`` counters and, on the
-    batched in-process path, the kernel's lane utilization is gauged.
+    into ``campaign_faults_total{status,target}`` counters, shard
+    requeues into ``campaign_shard_retries_total{reason}``, quarantined
+    lanes into ``campaign_lane_quarantine_total{reason,target}``.
     Neither affects the outcomes or the serialised report.
     """
     cfg = config or CampaignConfig()
@@ -438,46 +494,58 @@ def run_campaign(
         raise ValueError("jobs must be >= 1")
     tgt = resolve_target(target)
     injections = enumerate_injections(tgt, cfg)
-    chunks = list(enumerate(_chunked(injections, lanes)))
+    chunks = _chunked(injections, lanes)
     # Ship the target by name when we can: cheaper to pickle, and the
     # worker rebuilds it deterministically.
     spec: Union[str, RtlTarget] = target if isinstance(target, str) else tgt
     total = len(injections)
-    if jobs > 1 and len(chunks) > 1:
-        shards = [chunks[s::jobs] for s in range(jobs)]
-        indexed: Dict[int, List[FaultOutcome]] = {}
-        done = 0
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=len([s for s in shards if s]) or 1
-        ) as pool:
-            futures = [
-                pool.submit(_run_chunks, spec, cfg, lanes, shard)
-                for shard in shards
-                if shard
-            ]
-            for future in concurrent.futures.as_completed(futures):
-                for index, chunk_outcomes in future.result():
-                    indexed[index] = chunk_outcomes
-                    done += len(chunk_outcomes)
-                if progress is not None:
-                    progress(done, total)
-        outcomes = [o for i in sorted(indexed) for o in indexed[i]]
-    elif lanes > 1:
-        from repro.faults.batch import BatchCampaignHarness
 
-        harness = BatchCampaignHarness(tgt, cfg, lanes, metrics=metrics)
-        outcomes = []
-        for _, chunk in chunks:
-            outcomes.extend(harness.run_chunk(chunk))
-            if progress is not None:
-                progress(len(outcomes), total)
-    else:
-        scalar = CampaignHarness(tgt, cfg)
-        outcomes = []
-        for injection in injections:
-            outcomes.append(scalar.outcome(injection))
-            if progress is not None:
-                progress(len(outcomes), total)
+    store: Optional[CheckpointStore] = None
+    by_index: Dict[int, List[FaultOutcome]] = {}
+    if checkpoint is not None:
+        store = CheckpointStore(checkpoint)
+        store.ensure_manifest(_campaign_fingerprint(tgt, cfg, lanes, total))
+        for index, payload in store.chunks().items():
+            if 0 <= index < len(chunks) and isinstance(payload, list):
+                by_index[index] = [FaultOutcome(**d) for d in payload]
+    done = sum(len(outs) for outs in by_index.values())
+
+    def record(index: int, outs: List[FaultOutcome]) -> None:
+        nonlocal done
+        by_index[index] = outs
+        done += len(outs)
+        if store is not None:
+            store.save_chunk(index, [o.to_dict() for o in outs])
+        if progress is not None:
+            progress(done, total)
+
+    pending = [
+        (index, chunk)
+        for index, chunk in enumerate(chunks)
+        if index not in by_index
+    ]
+    if progress is not None and done:
+        progress(done, total)  # announce the resumed head start
+
+    if jobs > 1 and len(pending) > 1:
+        supervisor = ShardSupervisor(
+            _chunk_worker,
+            (spec, cfg, lanes, degrade),
+            pending,
+            config=SupervisorConfig(
+                jobs=jobs, shard_timeout=shard_timeout,
+                max_retries=max_retries,
+            ),
+            metrics=metrics,
+            on_result=record,
+        )
+        supervisor.run()
+    elif pending:
+        harness = _make_harness(tgt, cfg, lanes, degrade, metrics)
+        for index, chunk in pending:
+            record(index, harness.run_chunk(chunk))
+
+    outcomes = [o for index in sorted(by_index) for o in by_index[index]]
     report = CampaignReport(target=tgt.name, seed=cfg.seed, cycles=cfg.cycles)
     report.outcomes = _apply_untestable_analysis(tgt, cfg, injections, outcomes)
     if metrics is not None:

@@ -26,6 +26,25 @@ FaultT = TypeVar("FaultT")
 Fails = Callable[[Sequence[FaultT]], bool]
 
 
+def _safe(fails: Fails) -> Fails:
+    """Treat a predicate that errors (or flakes) as "does not fail".
+
+    During reduction the shrinker probes *candidate* schedules the
+    campaign never ran; a flaky predicate -- one whose failure stops
+    reproducing, or that raises on a pathological candidate -- must
+    only cost the shrinker that one reduction step.  The last schedule
+    the predicate *confirmed* failing is always what gets returned.
+    """
+
+    def safe(candidate: Sequence[FaultT]) -> bool:
+        try:
+            return bool(fails(candidate))
+        except Exception:
+            return False
+
+    return safe
+
+
 def shrink_schedule(
     schedule: Sequence[FaultT],
     fails: Fails,
@@ -38,10 +57,15 @@ def shrink_schedule(
     removal.  With ``minimise_windows`` each surviving fault is also
     tried with ``duration=1`` and ``cycle=0`` (kept only if the
     schedule still fails), turning long windows into point injections.
+
+    Robust to flaky predicates: a candidate probe that raises or stops
+    reproducing is simply not taken, so the result is always the last
+    schedule the predicate confirmed failing -- never a crash.
     """
     current = list(schedule)
     if not fails(current):
         raise ValueError("schedule does not fail; nothing to shrink")
+    fails = _safe(fails)
     chunk = max(1, len(current) // 2)
     while chunk >= 1:
         i = 0

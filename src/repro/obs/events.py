@@ -19,6 +19,9 @@ ee-fire    an early-evaluation join fired; ``extra['missing']`` names
            the inputs left owing anti-tokens, ``extra['early']`` is
            True when that list is non-empty
 invariant  the equation (2) invariant broke on the channel (fault runs)
+stall      a no-progress watchdog fired; ``extra`` carries the
+           :class:`~repro.resilience.StallDiagnosis` fields (the
+           asserted-Stop cycle, the blocked wires, the window)
 ========== ===========================================================
 
 ``subject`` names the channel or wire; the behavioural channel wires
@@ -45,6 +48,7 @@ EVENT_KINDS = (
     "idle",
     "ee-fire",
     "invariant",
+    "stall",
 )
 
 

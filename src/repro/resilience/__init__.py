@@ -1,0 +1,60 @@
+"""repro.resilience -- hardened execution for long-running workloads.
+
+Four capabilities, threaded through the campaign, sweep and
+model-checking drivers:
+
+* **checkpoint/resume** (:mod:`~repro.resilience.checkpoint`) --
+  atomic, fingerprint-validated on-disk stores; a resumed run emits the
+  byte-identical report of an uninterrupted one;
+* **crash-tolerant sharding** (:mod:`~repro.resilience.supervisor`) --
+  worker processes with per-shard deadlines, death detection and
+  capped-backoff requeues;
+* **stall watchdogs** (:mod:`~repro.resilience.watchdog`) -- no-progress
+  windows over the behavioural and gate-level simulators, with a
+  structured :class:`StallDiagnosis` naming the asserted-Stop cycle;
+* **graceful degradation** (:mod:`~repro.resilience.degrade`) -- batch
+  lane faults quarantine onto the scalar engine instead of sinking the
+  campaign.
+
+See the "Resilience" section of DESIGN.md for formats and criteria.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    atomic_write_json,
+)
+from repro.resilience.degrade import (
+    DegradingCampaignHarness,
+    LaneFaultError,
+    verify_degradation,
+)
+from repro.resilience.supervisor import (
+    ShardFailure,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+from repro.resilience.watchdog import (
+    NetworkStallWatchdog,
+    RtlStallWatchdog,
+    StallDiagnosis,
+    StallError,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "DegradingCampaignHarness",
+    "LaneFaultError",
+    "NetworkStallWatchdog",
+    "RtlStallWatchdog",
+    "ShardFailure",
+    "ShardSupervisor",
+    "StallDiagnosis",
+    "StallError",
+    "SupervisorConfig",
+    "atomic_write_json",
+    "verify_degradation",
+]

@@ -508,3 +508,30 @@ class BatchSimulator:
             name: unpack_lane(self.state[slot], lane)
             for name, slot in self._state_slots
         }
+
+    def check_lane_integrity(self) -> int:
+        """Bitmask of lanes whose plane encoding is corrupt.
+
+        The two-plane encoding has one representation invariant: a
+        value bit may only be set where the known bit is (``v & ~k ==
+        0``), and no bit may live above the lane mask.  The compiled
+        kernels preserve both by construction, so a violation after a
+        cycle means the planes were corrupted from outside (a buggy
+        observer poking the live arrays, a bad override mask, cosmic
+        unluck) -- exactly the condition the graceful-degradation layer
+        quarantines.  Returns 0 when every lane is healthy; a plane
+        bit *above* the mask cannot be attributed to one lane, so it
+        taints all of them (returns the full mask).
+        """
+        bad = 0
+        mask = self.mask
+        v, k = self._v, self._k
+        for slot in range(self._n_named):
+            if (v[slot] | k[slot]) & ~mask:
+                return mask
+            bad |= v[slot] & ~k[slot] & mask
+        for vp, kp in self.state.values():
+            if (vp | kp) & ~mask:
+                return mask
+            bad |= vp & ~kp & mask
+        return bad

@@ -14,6 +14,10 @@ this graph:
   :func:`find_combinational_cycle` to report the same full cycle path
   instead of a bare list of unresolved nets.
 
+The core walk is :func:`order_or_cycle`, a plain dependency-graph
+routine with no netlist knowledge; the resilience watchdogs reuse it to
+find the cycle of mutually-blocked Stop wires in a stalled network.
+
 Cycle paths are canonical (rotated so the lexicographically smallest
 signal comes first, listed in signal-flow order), so the two simulators
 produce byte-identical diagnostics for the same netlist.
@@ -71,15 +75,19 @@ def phase_nodes(netlist: Netlist, phase: Phase) -> Dict[str, Tuple[str, ...]]:
     return nodes
 
 
-def topo_order(netlist: Netlist, phase: Phase) -> List[str]:
-    """Topological order of one phase's combinational nodes.
+def order_or_cycle(
+    nodes: Dict[str, Tuple[str, ...]],
+) -> Tuple[List[str], Optional[List[str]]]:
+    """Topologically sort a dependency graph, or extract one cycle.
 
-    The returned list contains gate outputs and transparent-latch
-    outputs such that every node appears after all of its in-phase
-    fan-in.  Raises :class:`CombinationalCycleError` (with the full
-    path) when the phase has a combinational cycle.
+    ``nodes`` maps each node to its dependencies; dependency entries
+    that are not themselves nodes are sources and are skipped.  Returns
+    ``(order, None)`` with every node after all of its in-graph
+    dependencies when the graph is acyclic, or ``(partial_order,
+    cycle)`` where ``cycle`` lists the nodes of one dependency cycle in
+    *flow* order (each node feeds the next, and the last feeds the
+    first).
     """
-    nodes = phase_nodes(netlist, phase)
     order: List[str] = []
     seen: set = set()
     path_set: set = set()
@@ -99,11 +107,11 @@ def topo_order(netlist: Netlist, phase: Phase) -> List[str]:
             if idx < len(ins):
                 child = ins[idx]
                 if child in path_set:
-                    # DFS descends along fan-in, so the chain from
-                    # ``child`` down to ``sig`` reads against the signal
-                    # flow; reverse it to report the flow direction.
+                    # DFS descends along dependencies, so the chain from
+                    # ``child`` down to ``sig`` reads against the flow
+                    # direction; reverse it to report flow order.
                     chain = path_list[path_list.index(child):]
-                    raise CombinationalCycleError.from_cycle(chain[::-1])
+                    return order, chain[::-1]
                 stack.append((sig, idx + 1))
                 stack.append((child, 0))
             else:
@@ -111,6 +119,20 @@ def topo_order(netlist: Netlist, phase: Phase) -> List[str]:
                 order.append(sig)
                 path_set.discard(sig)
                 path_list.pop()
+    return order, None
+
+
+def topo_order(netlist: Netlist, phase: Phase) -> List[str]:
+    """Topological order of one phase's combinational nodes.
+
+    The returned list contains gate outputs and transparent-latch
+    outputs such that every node appears after all of its in-phase
+    fan-in.  Raises :class:`CombinationalCycleError` (with the full
+    path) when the phase has a combinational cycle.
+    """
+    order, cycle = order_or_cycle(phase_nodes(netlist, phase))
+    if cycle is not None:
+        raise CombinationalCycleError.from_cycle(cycle)
     return order
 
 

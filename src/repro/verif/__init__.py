@@ -18,7 +18,11 @@ checker:
   random acyclic control netlists.
 """
 
-from repro.verif.kripke import KripkeStructure, build_kripke
+from repro.verif.kripke import (
+    KripkeStructure,
+    StateSpaceLimitError,
+    build_kripke,
+)
 from repro.verif.ctl import (
     AF,
     AG,
@@ -50,6 +54,7 @@ from repro.verif.datapath import (
 
 __all__ = [
     "KripkeStructure",
+    "StateSpaceLimitError",
     "build_kripke",
     "AF",
     "AG",

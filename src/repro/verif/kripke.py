@@ -10,7 +10,12 @@ of (s, i).  Atomic propositions are then simple signal-value lookups.
 State spaces of elastic controllers are small (the paper: "the size of
 the controllers is small, state-of-the-art model checking techniques
 readily apply"); explicit enumeration with a few thousand states checks
-the same CTL properties NuSMV did.
+the same CTL properties NuSMV did.  For designs that are *not* small
+the builder is bounded -- :class:`StateSpaceLimitError` names the last
+controller state under expansion instead of exhausting memory -- and
+resumable: a ``checkpoint`` directory receives periodic atomic
+snapshots of the frontier, and a rerun pointed at the same directory
+continues the exploration and produces the identical structure.
 """
 
 from __future__ import annotations
@@ -19,10 +24,43 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from repro.resilience.checkpoint import CheckpointStore
+from repro.rtl.logic import X, is_known
 from repro.rtl.netlist import Netlist
 from repro.rtl.simulator import TwoPhaseSimulator
 
 StateKey = Tuple[int, ...]
+
+
+class StateSpaceLimitError(RuntimeError):
+    """The exploration hit ``max_states`` before the frontier drained.
+
+    ``last_state`` is the sequential state whose expansion discovered
+    one state too many -- the natural place to start understanding why
+    the space blew up.
+    """
+
+    def __init__(self, max_states: int, last_state: Mapping[str, object]) -> None:
+        bits = ", ".join(
+            f"{name}={_encode_value(value)}"
+            for name, value in sorted(last_state.items())
+        )
+        super().__init__(
+            f"state bound {max_states} exceeded while expanding controller "
+            f"state {{{bits}}}; raise max_states, or pass a checkpoint "
+            "directory to keep the partial exploration"
+        )
+        self.max_states = max_states
+        self.last_state = dict(last_state)
+
+
+def _encode_value(value: object) -> object:
+    """A latch/flop value as JSON: 0, 1 or the string ``"x"``."""
+    return "x" if not is_known(value) else int(value)  # type: ignore[arg-type]
+
+
+def _decode_value(value: object) -> object:
+    return X if value == "x" else value
 
 
 @dataclass
@@ -80,6 +118,8 @@ def build_kripke(
     max_states: int = 500_000,
     progress: Optional[Callable[[int, int], None]] = None,
     progress_every: int = 1024,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 2048,
 ) -> KripkeStructure:
     """Enumerate the reachable Kripke structure of ``netlist``.
 
@@ -89,12 +129,23 @@ def build_kripke(
             cycle).
         observe: signal names to expose as atomic propositions
             (defaults to the netlist's declared outputs plus inputs).
-        max_states: safety bound on the exploration.
+        max_states: safety bound on the exploration; exceeding it
+            raises :class:`StateSpaceLimitError` (after snapshotting,
+            when a checkpoint directory is set, so the partial
+            exploration survives).
         progress: optional ``fn(explored_states, frontier_size)`` hook
             (e.g. a :class:`~repro.obs.profile.ProgressReporter`),
             called every ``progress_every`` newly discovered sequential
             states and once more when the frontier drains.
         progress_every: how many new states between progress calls.
+        checkpoint: optional directory for periodic atomic snapshots of
+            the exploration (frontier + discovered states +
+            transitions).  A rerun with the same directory validates
+            the workload fingerprint, restores the snapshot and builds
+            the identical structure an uninterrupted run would.  The
+            bound is *not* part of the fingerprint, so a resume may
+            raise (or lift) ``max_states``.
+        checkpoint_every: snapshot cadence in newly discovered states.
 
     Returns:
         The reachable :class:`KripkeStructure`.
@@ -118,11 +169,64 @@ def build_kripke(
     seq_index: Dict[StateKey, int] = {}
     seq_states: List[Dict[str, int]] = []
     transition: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+    frontier: List[int] = []
 
-    initial_state = sim.initial_state()
-    seq_index[state_key(initial_state)] = 0
-    seq_states.append(dict(initial_state))
-    frontier = [0]
+    store: Optional[CheckpointStore] = None
+    if checkpoint is not None:
+        store = CheckpointStore(checkpoint)
+        store.ensure_manifest({
+            "kind": "kripke",
+            "netlist": netlist.name,
+            "inputs": inputs,
+            "state_names": state_names,
+            "observe": observed,
+        })
+
+    def pack_label(label: Tuple[int, ...]) -> int:
+        packed = 0
+        for j, bit in enumerate(label):
+            if bit:
+                packed |= 1 << j
+        return packed
+
+    def unpack_label(packed: int) -> Tuple[int, ...]:
+        return tuple((packed >> j) & 1 for j in range(len(observed)))
+
+    def save_snapshot() -> None:
+        if store is None:
+            return
+        store.save_snapshot({
+            "frontier": list(frontier),
+            "seq_states": [
+                [_encode_value(state[n]) for n in state_names]
+                for state in seq_states
+            ],
+            "transition": [
+                [si, ii, next_si, pack_label(label)]
+                for (si, ii), (next_si, label) in transition.items()
+            ],
+        })
+
+    snapshot = store.load_snapshot() if store is not None else None
+    if isinstance(snapshot, dict):
+        for values in snapshot["seq_states"]:
+            state = {
+                n: _decode_value(v) for n, v in zip(state_names, values)
+            }
+            seq_index[state_key(state)] = len(seq_states)
+            seq_states.append(state)
+        frontier = [int(si) for si in snapshot["frontier"]]
+        for si, ii, next_si, packed in snapshot["transition"]:
+            transition[(int(si), int(ii))] = (
+                int(next_si), unpack_label(int(packed))
+            )
+    else:
+        initial_state = sim.initial_state()
+        seq_index[state_key(initial_state)] = 0
+        seq_states.append(dict(initial_state))
+        frontier = [0]
+
+    unsaved = 0
     while frontier:
         si = frontier.pop()
         state = seq_states[si]
@@ -132,13 +236,22 @@ def build_kripke(
             nk = state_key(next_state)
             if nk not in seq_index:
                 if len(seq_index) >= max_states:
-                    raise RuntimeError(f"state bound {max_states} exceeded")
+                    # Re-queue the half-expanded state: its transition
+                    # entries are recomputed (identically) on resume.
+                    frontier.append(si)
+                    save_snapshot()
+                    raise StateSpaceLimitError(max_states, state)
                 seq_index[nk] = len(seq_states)
                 seq_states.append({n: next_state[n] for n in state_names})
                 frontier.append(seq_index[nk])
+                unsaved += 1
                 if progress is not None and len(seq_states) % progress_every == 0:
                     progress(len(seq_states), len(frontier))
             transition[(si, ii)] = (seq_index[nk], label)
+        if unsaved >= checkpoint_every:
+            save_snapshot()
+            unsaved = 0
+    save_snapshot()
     if progress is not None:
         progress(len(seq_states), 0)
 

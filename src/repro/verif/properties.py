@@ -79,11 +79,14 @@ def verify_netlist(
     fairness: Sequence[Formula] = (),
     include_liveness: bool = True,
     max_states: int = 500_000,
+    checkpoint: Optional[str] = None,
 ) -> VerificationResult:
     """Build the Kripke structure of ``netlist`` and verify its channels.
 
     All channel wires (plus the netlist inputs, needed for fairness
-    constraints over environment choices) are observed.
+    constraints over environment choices) are observed.  ``checkpoint``
+    is forwarded to :func:`~repro.verif.kripke.build_kripke`, making an
+    interrupted state-space build resumable.
     """
     observe: List[str] = []
     for ch in channels:
@@ -96,7 +99,9 @@ def verify_netlist(
         if sig not in seen:
             seen.add(sig)
             unique.append(sig)
-    kripke = build_kripke(netlist, observe=unique, max_states=max_states)
+    kripke = build_kripke(
+        netlist, observe=unique, max_states=max_states, checkpoint=checkpoint
+    )
     return verify_channel_properties(
         kripke, channels, fairness=fairness, include_liveness=include_liveness
     )

@@ -1,0 +1,106 @@
+"""Unit tests for the atomic checkpoint store."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import CheckpointMismatch, CheckpointStore
+from repro.resilience.checkpoint import atomic_write_json
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.json"
+        atomic_write_json(path, {"b": 2, "a": [1, None]})
+        assert json.loads(path.read_text()) == {"a": [1, None], "b": 2}
+
+    def test_no_temp_files_left(self, tmp_path):
+        atomic_write_json(tmp_path / "x.json", [1, 2, 3])
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["x.json"]
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "x.json"
+        atomic_write_json(path, "old")
+        atomic_write_json(path, "new")
+        assert json.loads(path.read_text()) == "new"
+
+
+class TestManifest:
+    def test_fresh_directory_adopts_fingerprint(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        assert store.ensure_manifest({"kind": "t", "seed": 1}) is False
+        assert store.read_manifest() == {"kind": "t", "seed": 1}
+
+    def test_matching_manifest_resumes(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.ensure_manifest({"kind": "t", "seed": 1})
+        assert CheckpointStore(tmp_path).ensure_manifest(
+            {"kind": "t", "seed": 1}
+        ) is True
+
+    def test_mismatched_manifest_names_the_keys(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.ensure_manifest({"kind": "t", "seed": 1, "cycles": 100})
+        with pytest.raises(CheckpointMismatch, match="cycles, seed"):
+            store.ensure_manifest({"kind": "t", "seed": 2, "cycles": 200})
+
+    def test_torn_manifest_treated_as_fresh(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"kind": "t", ')
+        store = CheckpointStore(tmp_path)
+        assert store.read_manifest() is None
+        assert store.ensure_manifest({"kind": "t"}) is False
+
+    def test_creates_nested_directories(self, tmp_path):
+        store = CheckpointStore(tmp_path / "a" / "b" / "c")
+        assert store.directory.is_dir()
+
+
+class TestChunks:
+    def test_save_and_enumerate(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_chunk(0, ["a"])
+        store.save_chunk(7, ["b"])
+        assert store.chunks() == {0: ["a"], 7: ["b"]}
+
+    def test_torn_chunk_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_chunk(0, ["ok"])
+        store.chunk_path(1).write_text('["torn')
+        assert store.chunks() == {0: ["ok"]}
+
+    def test_foreign_files_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (tmp_path / "notes.txt").write_text("hello")
+        (tmp_path / "chunk-1.json").write_text("[1]")  # too few digits
+        assert store.chunks() == {}
+
+    def test_stray_temp_file_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        name = f"chunk-000002.json.tmp.{os.getpid()}"
+        (tmp_path / name).write_text("[1]")
+        assert store.chunks() == {}
+
+
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load_snapshot() is None
+        store.save_snapshot({"frontier": [1, 2]})
+        assert store.load_snapshot() == {"frontier": [1, 2]}
+
+    def test_torn_snapshot_treated_as_absent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (tmp_path / "snapshot.json").write_text("{")
+        assert store.load_snapshot() is None
+
+
+class TestClear:
+    def test_removes_only_checkpoint_files(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.ensure_manifest({"kind": "t"})
+        store.save_chunk(3, [1])
+        store.save_snapshot({})
+        (tmp_path / "keep.txt").write_text("x")
+        store.clear()
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["keep.txt"]

@@ -1,0 +1,172 @@
+"""Tests for graceful degradation: batch lanes falling back to scalar."""
+
+import pytest
+
+from repro.faults.batch import BatchCampaignHarness
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignHarness,
+    enumerate_injections,
+    resolve_target,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import (
+    DegradingCampaignHarness,
+    LaneFaultError,
+    verify_degradation,
+)
+from repro.rtl.toposort import CombinationalCycleError
+
+CFG = CampaignConfig(cycles=60, seed=3, untestable_analysis=False)
+
+
+def scalar_reference(tgt, injections):
+    return CampaignHarness(tgt, CFG).run_chunk(injections)
+
+
+class TestLaneIntegrity:
+    def test_clean_simulator_reports_no_bad_lanes(self):
+        tgt = resolve_target("dual_ehb")
+        harness = BatchCampaignHarness(tgt, CFG, 4)
+        harness.run_chunk(enumerate_injections(tgt, CFG)[:4])
+        assert harness.sim.check_lane_integrity() == 0
+
+    def test_encoding_violation_names_the_lane(self):
+        tgt = resolve_target("dual_ehb")
+        harness = BatchCampaignHarness(tgt, CFG, 4)
+        harness.run_chunk(enumerate_injections(tgt, CFG)[:4])
+        sim = harness.sim
+        slot = next(iter(sim.state))
+        vp, kp = sim.state[slot]
+        sim.state[slot] = (vp | 0b100, kp & ~0b100)  # lane 2: v set, k clear
+        assert sim.check_lane_integrity() == 0b100
+
+    def test_bit_above_the_mask_taints_every_lane(self):
+        tgt = resolve_target("dual_ehb")
+        harness = BatchCampaignHarness(tgt, CFG, 4)
+        harness.run_chunk(enumerate_injections(tgt, CFG)[:4])
+        sim = harness.sim
+        slot = next(iter(sim.state))
+        vp, kp = sim.state[slot]
+        above = 1 << 4
+        sim.state[slot] = (vp | above, kp | above)
+        assert sim.check_lane_integrity() == sim.mask
+
+
+class TestQuarantine:
+    def test_hook_lanes_replayed_on_scalar_and_merged(self):
+        tgt = resolve_target("dual_ehb")
+        metrics = MetricsRegistry()
+        harness = DegradingCampaignHarness(
+            tgt, CFG, lanes=4, metrics=metrics,
+            quarantine_hook=lambda injections, batch: 0b1010,
+        )
+        injections = enumerate_injections(tgt, CFG)[:8]
+        merged = []
+        for start in (0, 4):
+            merged.extend(harness.run_chunk(injections[start:start + 4]))
+        assert merged == scalar_reference(tgt, injections)
+        assert harness.quarantined_total == 4  # lanes {1, 3} in 2 chunks
+        assert metrics.counter(
+            "campaign_lane_quarantine_total", reason="hook", target="dual_ehb"
+        ).value == 4
+
+    def test_integrity_violation_quarantines_the_lane(self):
+        tgt = resolve_target("dual_ehb")
+        metrics = MetricsRegistry()
+        harness = DegradingCampaignHarness(tgt, CFG, lanes=4, metrics=metrics)
+        batch = harness._batch_harness()
+        original = batch.run_chunk
+
+        def corrupting(injections):
+            outcomes = original(injections)
+            slot = next(iter(batch.sim.state))
+            vp, kp = batch.sim.state[slot]
+            batch.sim.state[slot] = (vp | 0b100, kp & ~0b100)
+            return outcomes
+
+        batch.run_chunk = corrupting
+        injections = enumerate_injections(tgt, CFG)[:4]
+        assert harness.run_chunk(injections) == scalar_reference(tgt, injections)
+        assert harness.quarantined_total == 1
+        assert metrics.counter(
+            "campaign_lane_quarantine_total",
+            reason="integrity", target="dual_ehb",
+        ).value == 1
+
+    def test_hook_mask_clipped_to_chunk_width(self):
+        tgt = resolve_target("dual_ehb")
+        harness = DegradingCampaignHarness(
+            tgt, CFG, lanes=4, quarantine_hook=lambda i, b: ~0,
+        )
+        injections = enumerate_injections(tgt, CFG)[:3]
+        assert harness.run_chunk(injections) == scalar_reference(tgt, injections)
+        assert harness.quarantined_total == 3
+
+    def test_empty_chunk_is_a_noop(self):
+        harness = DegradingCampaignHarness(resolve_target("dual_ehb"), CFG, 4)
+        assert harness.run_chunk([]) == []
+
+
+class TestChunkReplay:
+    def test_lane_fault_error_replays_the_chunk_on_scalar(self):
+        tgt = resolve_target("dual_ehb")
+        metrics = MetricsRegistry()
+        harness = DegradingCampaignHarness(tgt, CFG, lanes=4, metrics=metrics)
+        harness._batch_harness().run_chunk = _raise_lane_fault
+        injections = enumerate_injections(tgt, CFG)[:4]
+        assert harness.run_chunk(injections) == scalar_reference(tgt, injections)
+        assert harness.quarantined_total == 4
+        assert metrics.counter(
+            "campaign_lane_quarantine_total",
+            reason="crosscheck", target="dual_ehb",
+        ).value == 4
+        assert not harness._permanent_scalar  # next chunk retries batch
+
+    def test_midrun_cycle_error_degrades_permanently(self):
+        tgt = resolve_target("dual_ehb")
+        harness = DegradingCampaignHarness(tgt, CFG, lanes=4)
+        harness._batch_harness().run_chunk = _raise_cycle_error
+        injections = enumerate_injections(tgt, CFG)[:4]
+        assert harness.run_chunk(injections) == scalar_reference(tgt, injections)
+        assert harness._permanent_scalar
+
+
+def _raise_lane_fault(injections):
+    raise LaneFaultError(0b1, "crosscheck")
+
+
+def _raise_cycle_error(injections):
+    raise CombinationalCycleError("loop through eb.t0 -> eb.t0")
+
+
+class TestCompileFallback:
+    def test_uncompilable_netlist_runs_scalar_only(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise CombinationalCycleError("cannot compile the faulted cone")
+
+        monkeypatch.setattr("repro.faults.batch.BatchCampaignHarness", boom)
+        tgt = resolve_target("dual_ehb")
+        metrics = MetricsRegistry()
+        harness = DegradingCampaignHarness(tgt, CFG, lanes=4, metrics=metrics)
+        injections = enumerate_injections(tgt, CFG)[:4]
+        assert harness.run_chunk(injections) == scalar_reference(tgt, injections)
+        assert harness._permanent_scalar
+        assert metrics.counter(
+            "campaign_lane_quarantine_total",
+            reason="compile", target="dual_ehb",
+        ).value == 4
+
+
+class TestVerifyDegradation:
+    def test_full_sweep_matches_all_scalar(self):
+        outcomes = verify_degradation("dual_ehb", CFG, lanes=8)
+        assert len(outcomes) == len(
+            enumerate_injections(resolve_target("dual_ehb"), CFG)
+        )
+
+    def test_forced_quarantine_still_matches(self):
+        verify_degradation(
+            "dual_ehb", CFG, lanes=8,
+            quarantine_hook=lambda injections, batch: 0b01010101,
+        )

@@ -1,0 +1,196 @@
+"""Tests for the crash-tolerant shard supervisor.
+
+The flaky workers coordinate through marker files in a temp directory:
+a first attempt leaves its marker and then crashes/hangs/raises, the
+retry finds the marker and succeeds -- so every scenario converges to
+the same results a healthy pool would produce.
+"""
+
+import functools
+import multiprocessing as mp
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import ShardFailure, ShardSupervisor, SupervisorConfig
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _square_init():
+    return _square
+
+
+def _first_attempt(marker_dir, payload):
+    """True exactly once per (marker_dir, payload)."""
+    marker = Path(marker_dir) / f"seen-{payload}"
+    if marker.exists():
+        return False
+    marker.write_text("")
+    return True
+
+
+def _crash_once(marker_dir, payload):
+    if payload == 2 and _first_attempt(marker_dir, payload):
+        os._exit(3)
+    return payload * 10
+
+
+def _crash_once_init(marker_dir):
+    return functools.partial(_crash_once, marker_dir)
+
+
+def _hang_once(marker_dir, payload):
+    if payload == 1 and _first_attempt(marker_dir, payload):
+        time.sleep(120)
+    return payload + 100
+
+
+def _hang_once_init(marker_dir):
+    return functools.partial(_hang_once, marker_dir)
+
+
+def _raise_once(marker_dir, payload):
+    if payload == 0 and _first_attempt(marker_dir, payload):
+        raise ValueError("transient classifier wobble")
+    return -payload
+
+
+def _raise_once_init(marker_dir):
+    return functools.partial(_raise_once, marker_dir)
+
+
+def _always_fail(payload):
+    raise RuntimeError(f"shard {payload} is cursed")
+
+
+def _always_fail_init():
+    return _always_fail
+
+
+def _fast_config(**kw):
+    kw.setdefault("jobs", 2)
+    kw.setdefault("backoff_base", 0.01)
+    kw.setdefault("backoff_cap", 0.05)
+    kw.setdefault("poll_interval", 0.01)
+    return SupervisorConfig(**kw)
+
+
+class TestHappyPath:
+    def test_all_shards_complete(self):
+        tasks = [(i, i) for i in range(6)]
+        sup = ShardSupervisor(_square_init, (), tasks, config=_fast_config())
+        assert sup.run() == {i: i * i for i in range(6)}
+
+    def test_single_job_pool(self):
+        tasks = [(i, i) for i in range(3)]
+        sup = ShardSupervisor(
+            _square_init, (), tasks, config=_fast_config(jobs=1)
+        )
+        assert sup.run() == {0: 0, 1: 1, 2: 4}
+
+    def test_no_tasks(self):
+        sup = ShardSupervisor(_square_init, (), [], config=_fast_config())
+        assert sup.run() == {}
+
+    def test_on_result_sees_every_shard_once(self):
+        seen = {}
+        sup = ShardSupervisor(
+            _square_init, (), [(i, i) for i in range(5)],
+            config=_fast_config(),
+            on_result=lambda i, r: seen.__setitem__(i, r),
+        )
+        sup.run()
+        assert seen == {i: i * i for i in range(5)}
+
+    def test_no_orphan_processes_after_run(self):
+        sup = ShardSupervisor(
+            _square_init, (), [(i, i) for i in range(4)],
+            config=_fast_config(jobs=3),
+        )
+        sup.run()
+        assert mp.active_children() == []
+
+
+class TestCrashRecovery:
+    def test_killed_worker_shard_requeued(self, tmp_path):
+        metrics = MetricsRegistry()
+        sup = ShardSupervisor(
+            _crash_once_init, (str(tmp_path),), [(i, i) for i in range(4)],
+            config=_fast_config(), metrics=metrics,
+        )
+        assert sup.run() == {i: i * 10 for i in range(4)}
+        assert metrics.counter(
+            "campaign_shard_retries_total", reason="crash"
+        ).value == 1
+
+    def test_hung_worker_killed_and_shard_requeued(self, tmp_path):
+        metrics = MetricsRegistry()
+        sup = ShardSupervisor(
+            _hang_once_init, (str(tmp_path),), [(i, i) for i in range(3)],
+            config=_fast_config(shard_timeout=0.6), metrics=metrics,
+        )
+        assert sup.run() == {i: i + 100 for i in range(3)}
+        assert metrics.counter(
+            "campaign_shard_retries_total", reason="timeout"
+        ).value == 1
+        assert mp.active_children() == []
+
+    def test_worker_exception_requeued_as_error(self, tmp_path):
+        metrics = MetricsRegistry()
+        sup = ShardSupervisor(
+            _raise_once_init, (str(tmp_path),), [(i, i) for i in range(3)],
+            config=_fast_config(), metrics=metrics,
+        )
+        assert sup.run() == {0: 0, 1: -1, 2: -2}
+        assert metrics.counter(
+            "campaign_shard_retries_total", reason="error"
+        ).value == 1
+
+    def test_heartbeats_recorded(self):
+        metrics = MetricsRegistry()
+        sup = ShardSupervisor(
+            _square_init, (), [(0, 5)],
+            config=_fast_config(jobs=1), metrics=metrics,
+        )
+        sup.run()
+        total = sum(
+            m.value for m in metrics
+            if m.key.startswith("supervisor_heartbeats_total")
+        )
+        assert total >= 3  # ready + start + result
+
+
+class TestExhaustedRetries:
+    def test_shard_failure_names_shard_and_error(self):
+        sup = ShardSupervisor(
+            _always_fail_init, (), [(0, 0)],
+            config=_fast_config(jobs=1, max_retries=1),
+        )
+        with pytest.raises(ShardFailure, match="shard 0 .* cursed") as exc:
+            sup.run()
+        assert exc.value.index == 0
+        assert exc.value.attempts == 2  # initial + 1 retry
+        assert mp.active_children() == []
+
+    def test_run_after_shutdown_rejected(self):
+        sup = ShardSupervisor(
+            _square_init, (), [(0, 1)], config=_fast_config()
+        )
+        sup.shutdown()
+        sup.shutdown()  # idempotent
+        with pytest.raises(RuntimeError, match="shut down"):
+            sup.run()
+
+
+class TestValidation:
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ShardSupervisor(
+                _square_init, (), [], config=SupervisorConfig(jobs=0)
+            )

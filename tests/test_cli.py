@@ -196,3 +196,64 @@ class TestInjectLanes:
             main(["inject", "--lanes", "0"])
         with pytest.raises(SystemExit, match="positive"):
             main(["inject", "--jobs", "-1"])
+
+
+class TestInjectResilience:
+    def test_checkpointed_report_is_byte_identical(self, tmp_path):
+        plain = tmp_path / "plain.json"
+        checkpointed = tmp_path / "ck.json"
+        base = ["inject", "--netlist", "dual_ehb", "--cycles", "120"]
+        assert main(base + ["--report", str(plain)]) == 0
+        assert main(base + ["--checkpoint", str(tmp_path / "store"),
+                            "--report", str(checkpointed)]) == 0
+        assert checkpointed.read_bytes() == plain.read_bytes()
+        # Resuming the completed store reproduces the same bytes again.
+        resumed = tmp_path / "resumed.json"
+        assert main(base + ["--resume", str(tmp_path / "store"),
+                            "--report", str(resumed)]) == 0
+        assert resumed.read_bytes() == plain.read_bytes()
+
+    def test_resume_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint manifest"):
+            main(["inject", "--netlist", "dual_ehb",
+                  "--resume", str(tmp_path / "nowhere")])
+
+    def test_conflicting_checkpoint_and_resume_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="different directories"):
+            main(["inject", "--netlist", "dual_ehb",
+                  "--checkpoint", str(tmp_path / "a"),
+                  "--resume", str(tmp_path / "b")])
+
+    def test_checkpoint_from_other_campaign_rejected(self, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["inject", "--netlist", "dual_ehb", "--cycles", "120",
+                     "--checkpoint", store]) == 0
+        with pytest.raises(SystemExit, match="different workload"):
+            main(["inject", "--netlist", "dual_ehb", "--cycles", "200",
+                  "--checkpoint", store])
+
+    def test_processor_rejects_checkpoint(self, tmp_path):
+        with pytest.raises(SystemExit, match="RTL netlist"):
+            main(["inject", "--netlist", "processor",
+                  "--checkpoint", str(tmp_path / "store")])
+
+    def test_shard_timeout_and_retries_accepted(self, tmp_path):
+        report = tmp_path / "r.json"
+        assert main(["inject", "--netlist", "dual_ehb", "--cycles", "120",
+                     "--lanes", "16", "--jobs", "2",
+                     "--shard-timeout", "300", "--max-retries", "3",
+                     "--report", str(report)]) == 0
+        assert report.exists()
+
+
+class TestVerifyCheckpoint:
+    def test_verify_with_checkpoint_passes_and_persists(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["verify", "--design", "early",
+                     "--checkpoint", str(store)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert (store / "snapshot.json").is_file()
+        # Resume from the drained snapshot: same verdict.
+        assert main(["verify", "--design", "early",
+                     "--checkpoint", str(store)]) == 0
+        assert "PASS" in capsys.readouterr().out

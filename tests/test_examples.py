@@ -52,3 +52,9 @@ def test_elastic_processor(capsys):
 def test_fig9_case_study(capsys):
     out = _run("fig9_case_study.py", capsys)
     assert "early evaluation speed-up" in out
+
+
+@pytest.mark.slow
+def test_kill_and_resume(capsys):
+    out = _run("kill_and_resume.py", capsys)
+    assert "matches the uninterrupted run byte-for-byte" in out
