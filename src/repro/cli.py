@@ -13,9 +13,12 @@ Usage (after ``pip install -e .``)::
     python -m repro inject   [--netlist dual_ehb|...|processor]
                              [--fault stuck0,stuck1] [--cycles 400]
                              [--seed 2007] [--report out.json] [--shrink]
-                             [--metrics] [--progress]
+                             [--metrics] [--degradation] [--progress]
                              [--checkpoint dir] [--resume dir]
                              [--shard-timeout 60] [--max-retries 2]
+    python -m repro lint     [target ...] [--list] [--json out.json]
+                             [--sarif out.sarif] [--baseline file]
+                             [--write-baseline file]
     python -m repro trace    [--config active|...|pipeline] [--cycles 64]
                              [--vcd out.vcd] [--events out.jsonl]
     python -m repro stats    [--config active] [--cycles 5000] [--seed 0]
@@ -277,6 +280,11 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 "--lanes/--jobs need an RTL netlist; the behavioural "
                 "processor campaign only runs sequentially"
             )
+        if args.degradation:
+            raise SystemExit(
+                "--degradation needs an RTL netlist; the behavioural "
+                "processor campaign has no batch lanes to quarantine"
+            )
         report = run_processor_campaign(
             ProcessorCampaignConfig(cycles=args.cycles, seed=args.seed),
             progress=progress,
@@ -300,6 +308,7 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 checkpoint=checkpoint,
                 shard_timeout=args.shard_timeout,
                 max_retries=args.max_retries,
+                degradation=args.degradation,
             )
         except KeyboardInterrupt:
             hint = (
@@ -348,6 +357,53 @@ def cmd_inject(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
         print(f"wrote report to {args.report}")
     return 0 if report.coverage == 1.0 else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        all_targets,
+        load_baseline,
+        new_findings,
+        run_lint,
+        sarif_json,
+        write_baseline,
+    )
+    from repro.lint.findings import Severity
+
+    if args.list:
+        from repro.lint import LINT_TARGETS
+
+        for name in sorted(LINT_TARGETS):
+            print(name)
+        return 0
+    targets = args.targets or all_targets()
+    try:
+        report = run_lint(targets)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote JSON findings to {args.json}")
+    if args.sarif:
+        with open(args.sarif, "w") as handle:
+            handle.write(sarif_json(report))
+        print(f"wrote SARIF 2.1.0 log to {args.sarif}")
+    if args.write_baseline:
+        count = write_baseline(report, args.write_baseline)
+        print(f"recorded {count} fingerprint(s) to {args.write_baseline}")
+    print(report.render())
+    findings = report.findings
+    if args.baseline:
+        findings = new_findings(report, load_baseline(args.baseline))
+        suppressed = len(report.findings) - len(findings)
+        if suppressed:
+            print(f"{suppressed} finding(s) suppressed by {args.baseline}")
+    new_errors = [f for f in findings if f.severity == Severity.ERROR]
+    if new_errors:
+        print(f"{len(new_errors)} new error(s)")
+        return 1
+    return 0
 
 
 def cmd_dmg(args: argparse.Namespace) -> int:
@@ -419,6 +475,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_dmg)
 
     p = sub.add_parser(
+        "lint",
+        help="statically analyze the built-in designs (netlist + elastic "
+             "protocol rules); nonzero exit on new errors",
+    )
+    p.add_argument("targets", nargs="*",
+                   help="lint targets (default: every built-in design; "
+                        "see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="print the available targets and exit")
+    p.add_argument("--json", default=None,
+                   help="write the deterministic JSON findings here")
+    p.add_argument("--sarif", default=None,
+                   help="write the SARIF 2.1.0 log here")
+    p.add_argument("--baseline", default=None,
+                   help="suppress the fingerprints recorded in this "
+                        "baseline file before deciding the exit code")
+    p.add_argument("--write-baseline", default=None,
+                   help="record every finding's fingerprint to this file "
+                        "(accepting the current findings as intentional)")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
         "inject", help="run a fault-injection campaign with online monitors"
     )
     p.add_argument("--netlist", default="dual_ehb",
@@ -445,6 +523,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "lane utilization) to the report and print it; "
                         "without this flag the report stays byte-identical "
                         "to the goldens")
+    p.add_argument("--degradation", action="store_true",
+                   help="attach the lane-quarantine summary of the "
+                        "graceful-degradation harness to the report "
+                        "(a 'degradation' key next to 'metrics'); without "
+                        "this flag the report stays byte-identical to the "
+                        "goldens")
     p.add_argument("--progress", action="store_true",
                    help="print progress lines while the sweep runs")
     p.add_argument("--checkpoint", default=None,

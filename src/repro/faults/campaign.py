@@ -129,6 +129,10 @@ class CampaignReport:
     #: the serialised report unless set -- the default report stays
     #: byte-identical to the goldens.
     metrics: Optional[Dict[str, object]] = None
+    #: optional lane-quarantine summary of the graceful-degradation
+    #: harness (opt in via ``run_campaign(..., degradation=True)``);
+    #: absent from the serialised report unless set.
+    degradation: Optional[Dict[str, object]] = None
 
     def counts(self) -> Dict[str, int]:
         counts = {"detected": 0, "latent": 0, "undetected": 0, "untestable": 0}
@@ -161,6 +165,8 @@ class CampaignReport:
         }
         if self.metrics is not None:
             d["metrics"] = self.metrics
+        if self.degradation is not None:
+            d["degradation"] = self.degradation
         return d
 
     def to_json(self) -> str:
@@ -457,6 +463,7 @@ def run_campaign(
     shard_timeout: Optional[float] = None,
     max_retries: int = 2,
     degrade: bool = True,
+    degradation: bool = False,
 ) -> CampaignReport:
     """Sweep every enumerated fault over ``target``.
 
@@ -486,12 +493,26 @@ def run_campaign(
     requeues into ``campaign_shard_retries_total{reason}``, quarantined
     lanes into ``campaign_lane_quarantine_total{reason,target}``.
     Neither affects the outcomes or the serialised report.
+
+    ``degradation`` (opt in) attaches a lane-quarantine summary to
+    ``report.degradation`` -- total lanes replayed on the scalar engine
+    and the per-reason breakdown -- serialised as a ``degradation`` key
+    next to ``metrics``.  Off by default so the report stays
+    byte-identical to the goldens.  Per-lane attribution lives in the
+    coordinating process, so with ``jobs > 1`` the summary covers shard
+    retries only.
     """
     cfg = config or CampaignConfig()
     if lanes < 1:
         raise ValueError("lanes must be >= 1")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if degradation and metrics is None:
+        # The quarantine tallies ride on the metrics registry; conjure a
+        # private one when the caller did not supply any.
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
     tgt = resolve_target(target)
     injections = enumerate_injections(tgt, cfg)
     chunks = _chunked(injections, lanes)
@@ -553,7 +574,44 @@ def run_campaign(
             metrics.counter(
                 "campaign_faults_total", status=outcome.status, target=tgt.name
             ).inc()
+    if degradation:
+        report.degradation = _degradation_summary(
+            metrics, tgt.name, lanes=lanes, degrade=degrade
+        )
     return report
+
+
+def _degradation_summary(
+    metrics: "MetricsRegistry",
+    target: str,
+    lanes: int,
+    degrade: bool,
+) -> Dict[str, object]:
+    """The ``degradation`` report key: lane-quarantine totals by reason.
+
+    Reads the ``campaign_lane_quarantine_total{reason,target}`` series
+    the harness tallied (filtered to ``target``) plus any shard retries;
+    deterministic because the counters are summed, never timestamped.
+    """
+    by_reason: Dict[str, int] = {}
+    for metric in metrics.series("campaign_lane_quarantine_total"):
+        labels = dict(metric.labels)
+        if labels.get("target") != target:
+            continue
+        reason = labels.get("reason", "unknown")
+        by_reason[reason] = by_reason.get(reason, 0) + metric.value
+    shard_retries = sum(
+        m.value for m in metrics.series("campaign_shard_retries_total")
+    )
+    summary: Dict[str, object] = {
+        "enabled": bool(degrade and lanes > 1),
+        "lanes": lanes,
+        "quarantined": sum(by_reason.values()),
+        "by_reason": by_reason,
+    }
+    if shard_retries:
+        summary["shard_retries"] = shard_retries
+    return summary
 
 
 # ----------------------------------------------------------------------

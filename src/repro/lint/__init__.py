@@ -1,0 +1,50 @@
+"""repro.lint -- rule-based static analysis of elastic designs.
+
+Two front-ends feed one reporting spine:
+
+* the **netlist front-end** (:mod:`repro.lint.netlist_rules`, rules
+  ``LNT0xx``) checks gate/latch netlists: driver discipline, dead and
+  floating logic, two-phase clocking, combinational cycles (the one
+  producer of the diagnostic both simulators raise), ternary constant
+  propagation and structural X sources;
+* the **elastic front-end** (:mod:`repro.lint.elastic_rules`, rules
+  ``ELX0xx``) checks specs, behavioural networks and DMG abstractions:
+  connectivity and channel polarity, controller shape, static deadlock
+  analysis (token-free and bubble-free cycles) and anti-token balance
+  behind early-evaluation joins.
+
+Findings serialise to deterministic JSON and SARIF 2.1.0
+(:mod:`repro.lint.sarif`), suppress against baseline files
+(:mod:`repro.lint.baseline`), and emit as ``finding`` trace events.
+``repro lint`` drives the built-in target registry
+(:mod:`repro.lint.targets`); :func:`repro.synthesis.elasticize` runs
+the spec rules at build time and fails fast on errors.
+"""
+
+from repro.lint.baseline import load_baseline, new_findings, write_baseline
+from repro.lint.elastic_rules import lint_dmg, lint_network, lint_spec
+from repro.lint.findings import RULES, Finding, LintReport, Rule, Severity
+from repro.lint.netlist_rules import combinational_cycle_finding, lint_netlist
+from repro.lint.sarif import sarif_json, to_sarif
+from repro.lint.targets import LINT_TARGETS, all_targets, run_lint
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "LINT_TARGETS",
+    "all_targets",
+    "combinational_cycle_finding",
+    "lint_dmg",
+    "lint_netlist",
+    "lint_network",
+    "lint_spec",
+    "load_baseline",
+    "new_findings",
+    "run_lint",
+    "sarif_json",
+    "to_sarif",
+    "write_baseline",
+]

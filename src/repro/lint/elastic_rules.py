@@ -1,0 +1,452 @@
+"""Elastic front-end of the static analyzer (the ``ELX0xx`` rules).
+
+Three entry points, one per abstraction level:
+
+* :func:`lint_spec` -- a :class:`~repro.synthesis.spec.SystemSpec`
+  before elaboration: connectivity (ELX001), controller shape (ELX003),
+  static deadlock analysis (ELX004/ELX005), anti-token balance
+  (ELX006) and inert passive interfaces (ELX007);
+* :func:`lint_network` -- a hand-built or elaborated
+  :class:`~repro.elastic.behavioral.ElasticNetwork`: channel polarity
+  (ELX002) plus the same deadlock/counterflow cycle rules over the
+  live controller graph;
+* :func:`lint_dmg` -- a :class:`~repro.core.dmg.DualMarkedGraph`:
+  token-free cycles (ELX004) straight off the marking.
+
+The deadlock rules encode the two-level liveness story of the paper:
+ELX004 is the classical Sect. 2.2 criterion (every cycle positively
+marked); ELX005 is the refinement the DMG abstraction misses -- its
+simultaneous-firing semantics lets a full capacity-1 loop rotate, but
+the EB handshake needs a bubble somewhere on the cycle for any token to
+advance, so such loops deadlock in the implementation.  ELX006
+attributes a deadlock cycle to the counterflow discipline when it runs
+behind an early join with no annihilating buffer or passive interface
+on it (the anti-tokens the join emits can then never die).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.elastic.behavioral import (
+    Controller,
+    EagerFork,
+    EarlyJoin,
+    ElasticBuffer,
+    ElasticNetwork,
+    Join,
+    LazyFork,
+    PassiveAntiToken,
+    Pipe,
+    Sink,
+    Source,
+    VariableLatency,
+)
+from repro.lint.findings import Finding
+from repro.rtl.toposort import canonical_cycle, order_or_cycle
+from repro.synthesis.spec import Connection, SystemSpec
+
+__all__ = ["lint_spec", "lint_network", "lint_dmg"]
+
+
+# ----------------------------------------------------------------------
+# Cycle hunting over a generic arc list
+# ----------------------------------------------------------------------
+def _find_cycles(
+    arcs: Sequence[Tuple[str, str]], max_cycles: int = 8
+) -> List[List[str]]:
+    """Up to ``max_cycles`` distinct simple cycles of a digraph.
+
+    Reuses the shared :func:`~repro.rtl.toposort.order_or_cycle` walker:
+    find one cycle, cut its closing arc, rescan.  Node order is the
+    canonical rotation, in flow order.
+    """
+    preds: Dict[str, List[str]] = {}
+    for src, dst in arcs:
+        preds.setdefault(src, [])
+        preds.setdefault(dst, []).append(src)
+    graph = {n: tuple(p) for n, p in preds.items()}
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+    for _ in range(max_cycles):
+        _, cycle = order_or_cycle(graph)
+        if cycle is None:
+            break
+        key = tuple(canonical_cycle(list(cycle)))
+        if key not in seen:
+            seen.add(key)
+            cycles.append(list(key))
+        first, last = key[0], key[-1]
+        graph[first] = tuple(p for p in graph[first] if p != last)
+    return cycles
+
+
+def _loop_text(names: Sequence[str]) -> str:
+    return " -> ".join(list(names) + [names[0]])
+
+
+# ----------------------------------------------------------------------
+# Spec-level rules
+# ----------------------------------------------------------------------
+def _spec_connectivity(spec: SystemSpec) -> List[Finding]:
+    """ELX001: the non-raising mirror of ``SystemSpec.validate``."""
+    target = spec.name
+    ports = spec._expected_ports()
+    used: Dict[Tuple[str, str, str], int] = {p: 0 for p in ports}
+    findings = []
+    for conn in spec.connections:
+        for endpoint, role in ((conn.src, "src"), (conn.dst, "dst")):
+            if endpoint not in ports:
+                findings.append(Finding(
+                    "ELX001", target, conn.name,
+                    f"unknown endpoint {endpoint}",
+                ))
+            elif ports[endpoint] != role:
+                want = "producer" if role == "src" else "consumer"
+                have = "producer" if ports[endpoint] == "src" else "consumer"
+                findings.append(Finding(
+                    "ELX001", target, conn.name,
+                    f"endpoint {endpoint} wired as {want} but declared "
+                    f"as {have}: {{V+, S-}} flow forward, {{S+, V-}} "
+                    "flow backward",
+                ))
+            else:
+                used[endpoint] += 1
+    for endpoint in sorted(p for p, n in used.items() if n == 0):
+        findings.append(Finding(
+            "ELX001", target, ":".join(endpoint),
+            f"port {endpoint} is never connected",
+        ))
+    for endpoint in sorted(p for p, n in used.items() if n > 1):
+        findings.append(Finding(
+            "ELX001", target, ":".join(endpoint),
+            f"port {endpoint} is connected {used[endpoint]} times",
+        ))
+    return findings
+
+
+def _spec_shapes(spec: SystemSpec) -> List[Finding]:
+    """ELX003: arity masks and buffer occupancy declarations."""
+    target = spec.name
+    findings = []
+    for b in spec.blocks.values():
+        if b.g_inputs is not None and len(b.g_inputs) != b.n_inputs:
+            findings.append(Finding(
+                "ELX003", target, b.name,
+                f"g_inputs mask has {len(b.g_inputs)} entries for "
+                f"{b.n_inputs} inputs",
+            ))
+    for r in spec.registers.values():
+        capacity = getattr(r, "capacity", 2)
+        if capacity < 1:
+            findings.append(Finding(
+                "ELX003", target, r.name,
+                f"capacity {capacity} < 1: an EB needs at least one EHB",
+            ))
+        if not 0 <= r.initial_tokens <= max(capacity, 1):
+            findings.append(Finding(
+                "ELX003", target, r.name,
+                f"initial_tokens {r.initial_tokens} does not fit "
+                f"capacity {capacity}",
+            ))
+        if (r.initial_data is not None
+                and len(r.initial_data) != r.initial_tokens):
+            findings.append(Finding(
+                "ELX003", target, r.name,
+                f"initial_data has {len(r.initial_data)} payloads for "
+                f"{r.initial_tokens} initial tokens",
+            ))
+    return findings
+
+
+def _spec_node(endpoint: Tuple[str, str, str]) -> str:
+    return f"{endpoint[0]}:{endpoint[1]}"
+
+
+def _display(nodes: Sequence[str]) -> Tuple[str, ...]:
+    return tuple(n.split(":", 1)[1] for n in nodes)
+
+
+def _spec_deadlocks(spec: SystemSpec) -> List[Finding]:
+    """ELX004 / ELX005 / ELX006 over the connection graph."""
+    target = spec.name
+    findings = []
+
+    def tokens_of(conn: Connection) -> int:
+        if conn.src[0] == "register":
+            return spec.registers[conn.src[1]].initial_tokens
+        return 0
+
+    def spare_of(conn: Connection) -> int:
+        if conn.src[0] == "register":
+            r = spec.registers[conn.src[1]]
+            return max(getattr(r, "capacity", 2) - r.initial_tokens, 0)
+        return 0  # a direct channel holds no token between cycles
+
+    early = {b.name for b in spec.blocks.values() if b.is_early}
+    registers = set(spec.registers)
+    passive_pairs = {
+        (_spec_node(c.src), _spec_node(c.dst))
+        for c in spec.connections if c.passive
+    }
+
+    def classify(cycle: List[str]) -> Tuple[str, str]:
+        names = _display(cycle)
+        on_register = any(
+            node.startswith("register:") for node in cycle
+        )
+        arcs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        on_passive = any(a in passive_pairs for a in arcs)
+        if not on_register and not on_passive and early & set(names):
+            join = sorted(early & set(names))[0]
+            return "ELX006", (
+                f"anti-tokens from early join {join!r} circulate the "
+                f"cycle {_loop_text(names)} with no annihilating buffer "
+                "or passive interface to die in"
+            )
+        return "ELX004", (
+            f"channel cycle {_loop_text(names)} carries no token: "
+            "no transfer can ever fire on it"
+        )
+
+    zero_token = [
+        (_spec_node(c.src), _spec_node(c.dst))
+        for c in spec.connections if tokens_of(c) == 0
+    ]
+    token_free: Set[Tuple[str, ...]] = set()
+    for cycle in _find_cycles(zero_token):
+        token_free.add(tuple(cycle))
+        rule, message = classify(cycle)
+        names = _display(cycle)
+        findings.append(Finding(rule, target, names[0], message, path=names))
+
+    zero_spare = [
+        (_spec_node(c.src), _spec_node(c.dst))
+        for c in spec.connections if spare_of(c) == 0
+    ]
+    for cycle in _find_cycles(zero_spare):
+        has_token = any(
+            node.startswith("register:")
+            and spec.registers[node.split(":", 1)[1]].initial_tokens > 0
+            for node in cycle
+        )
+        if not has_token or tuple(cycle) in token_free:
+            continue  # token-free cycles are ELX004's
+        names = _display(cycle)
+        findings.append(Finding(
+            "ELX005", target, names[0],
+            f"cycle {_loop_text(names)} has no spare EB capacity: every "
+            "buffer is full, so no token can advance (undersized loop; "
+            "give one register more capacity or fewer initial tokens)",
+            path=names,
+        ))
+    return findings
+
+
+def _spec_passive_use(spec: SystemSpec) -> List[Finding]:
+    """ELX007: passive interfaces in a system with no early join."""
+    if any(b.is_early for b in spec.blocks.values()):
+        return []
+    return [
+        Finding(
+            "ELX007", spec.name, conn.name,
+            "passive anti-token interface, but no block evaluates "
+            "early: no anti-token can ever reach it",
+        )
+        for conn in spec.connections if conn.passive
+    ]
+
+
+def lint_spec(spec: SystemSpec) -> List[Finding]:
+    """Run every spec-level rule.  Connectivity errors suppress the
+    graph rules (a mis-wired graph produces nonsense cycles)."""
+    findings = _spec_connectivity(spec)
+    findings += _spec_shapes(spec)
+    if not any(f.rule == "ELX001" for f in findings):
+        findings += _spec_deadlocks(spec)
+        findings += _spec_passive_use(spec)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Network-level rules
+# ----------------------------------------------------------------------
+def _roles(ctrl: Controller) -> Tuple[List, List]:
+    """``(consumed, produced)`` channels of one controller.
+
+    Consumed channels are those the controller reads tokens from (it
+    drives their ``{S+, V-}`` wires); produced channels are those it
+    emits tokens into (it drives ``{V+, S-}``).  Custom controllers
+    (e.g. the Sect. 7 processor's fetch/commit units) are covered by
+    the isinstance checks on their base class, with an attribute-shape
+    fallback for anything else.
+    """
+    if isinstance(ctrl, (ElasticBuffer, Pipe, VariableLatency)):
+        return [ctrl.left], [ctrl.right]
+    if isinstance(ctrl, (Join, EarlyJoin)):
+        return list(ctrl.inputs), [ctrl.output]
+    if isinstance(ctrl, (EagerFork, LazyFork)):
+        return [ctrl.input], list(ctrl.outputs)
+    if isinstance(ctrl, PassiveAntiToken):
+        return [ctrl.up], [ctrl.down]
+    if isinstance(ctrl, Source):
+        return [], [ctrl.output]
+    if isinstance(ctrl, Sink):
+        return [ctrl.input], []
+    consumed, produced = [], []
+    if hasattr(ctrl, "left") and hasattr(ctrl, "right"):
+        return [ctrl.left], [ctrl.right]
+    if hasattr(ctrl, "inputs"):
+        consumed += list(ctrl.inputs)
+    elif hasattr(ctrl, "input"):
+        consumed.append(ctrl.input)
+    if hasattr(ctrl, "outputs"):
+        produced += list(ctrl.outputs)
+    elif hasattr(ctrl, "output"):
+        produced.append(ctrl.output)
+    return consumed, produced
+
+
+def _network_polarity(net: ElasticNetwork) -> List[Finding]:
+    """ELX002: one producer and one consumer per channel."""
+    target = net.name
+    producers: Dict[str, List[str]] = {name: [] for name in net.channels}
+    consumers: Dict[str, List[str]] = {name: [] for name in net.channels}
+    findings = []
+    for ctrl in net.controllers:
+        consumed, produced = _roles(ctrl)
+        for ch in consumed:
+            consumers.setdefault(ch.name, []).append(ctrl.name)
+        for ch in produced:
+            producers.setdefault(ch.name, []).append(ctrl.name)
+    for name in sorted(net.channels):
+        prods, cons = producers[name], consumers[name]
+        if len(prods) == 1 and len(cons) == 1:
+            continue
+        if not prods and not cons:
+            findings.append(Finding(
+                "ELX002", target, name,
+                "channel is registered but no controller drives it",
+            ))
+            continue
+        if len(prods) != 1:
+            what = "no controller" if not prods else ", ".join(sorted(prods))
+            findings.append(Finding(
+                "ELX002", target, name,
+                f"needs exactly one {{V+, S-}} producer, has "
+                f"{len(prods)} ({what})",
+            ))
+        if len(cons) != 1:
+            what = "no controller" if not cons else ", ".join(sorted(cons))
+            findings.append(Finding(
+                "ELX002", target, name,
+                f"needs exactly one {{S+, V-}} consumer, has "
+                f"{len(cons)} ({what})",
+            ))
+    return findings
+
+
+def _network_deadlocks(net: ElasticNetwork) -> List[Finding]:
+    """ELX004 / ELX005 / ELX006 over the controller graph."""
+    target = net.name
+    findings = []
+    producers: Dict[str, str] = {}
+    consumers: Dict[str, str] = {}
+    by_name: Dict[str, Controller] = {}
+    for ctrl in net.controllers:
+        by_name[ctrl.name] = ctrl
+        consumed, produced = _roles(ctrl)
+        for ch in consumed:
+            consumers[ch.name] = ctrl.name
+        for ch in produced:
+            producers[ch.name] = ctrl.name
+    arcs = [
+        (producers[name], consumers[name])
+        for name in sorted(net.channels)
+        if name in producers and name in consumers
+    ]
+
+    def is_annihilator(name: str) -> bool:
+        return isinstance(by_name[name], (ElasticBuffer, PassiveAntiToken))
+
+    def tokens(name: str) -> int:
+        ctrl = by_name[name]
+        if isinstance(ctrl, ElasticBuffer):
+            return max(ctrl.count, 0)
+        return 0
+
+    def spare(name: str) -> int:
+        ctrl = by_name[name]
+        if isinstance(ctrl, ElasticBuffer):
+            return max(ctrl.capacity - max(ctrl.count, 0), 0)
+        return 0
+
+    zero_token = [a for a in arcs if tokens(a[0]) == 0]
+    token_free: Set[Tuple[str, ...]] = set()
+    for cycle in _find_cycles(zero_token):
+        token_free.add(tuple(cycle))
+        ee = sorted(
+            n for n in cycle if isinstance(by_name[n], EarlyJoin)
+        )
+        if ee and not any(is_annihilator(n) for n in cycle):
+            findings.append(Finding(
+                "ELX006", target, cycle[0],
+                f"anti-tokens from early join {ee[0]!r} circulate the "
+                f"cycle {_loop_text(cycle)} with no annihilating buffer "
+                "or passive interface to die in",
+                path=tuple(cycle),
+            ))
+        else:
+            findings.append(Finding(
+                "ELX004", target, cycle[0],
+                f"controller cycle {_loop_text(cycle)} holds no token: "
+                "no transfer can ever fire on it",
+                path=tuple(cycle),
+            ))
+
+    zero_spare = [a for a in arcs if spare(a[0]) == 0]
+    for cycle in _find_cycles(zero_spare):
+        if tuple(cycle) in token_free:
+            continue
+        if not any(tokens(n) > 0 for n in cycle):
+            continue  # token-free variants belong to ELX004
+        findings.append(Finding(
+            "ELX005", target, cycle[0],
+            f"cycle {_loop_text(cycle)} has no spare EB capacity: every "
+            "buffer on it is full, so no token can advance",
+            path=tuple(cycle),
+        ))
+    return findings
+
+
+def lint_network(net: ElasticNetwork) -> List[Finding]:
+    """Run every network-level rule.  Polarity errors suppress the
+    cycle rules (the controller graph is not well defined then)."""
+    findings = _network_polarity(net)
+    if not any(f.rule == "ELX002" for f in findings):
+        findings += _network_deadlocks(net)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# DMG-level rule
+# ----------------------------------------------------------------------
+def lint_dmg(graph, target: str = "dmg") -> List[Finding]:
+    """ELX004 over a (dual) marked graph: non-positive cycle sums.
+
+    Accepts any :class:`~repro.core.mg.MarkedGraph`; by token
+    preservation the verdict holds for every reachable marking.
+    """
+    findings = []
+    m0 = graph.initial_marking
+    for cycle in graph.simple_cycles():
+        total = graph.marking_of(m0, cycle)
+        if total <= 0:
+            names = tuple(cycle)
+            findings.append(Finding(
+                "ELX004", target, names[0],
+                f"cycle [{', '.join(names)}] sums to {total} tokens: "
+                "a non-positive cycle can never fire around",
+                path=names,
+            ))
+    return findings

@@ -1,0 +1,272 @@
+"""Netlist front-end of the static analyzer (the ``LNT0xx`` rules).
+
+Checks a :class:`~repro.rtl.netlist.Netlist` *before* any simulator is
+built:
+
+========  ==========================================================
+LNT001    multiply-driven signal (a name owned by two cell tables)
+LNT002    floating signal (referenced as fan-in, never driven)
+LNT003    dead cell (outside the declared output cone)
+LNT004    two-phase discipline: a transparent latch fed combinationally
+          by a latch of the *same* phase races through both in one
+          phase (H must feed L and vice versa, Fig. 3)
+LNT005    combinational cycle, with the full canonical path -- the
+          single producer of the cycle diagnostic shared with both
+          simulators via ``CombinationalCycleError.from_finding``
+LNT006    constant net, by a ternary constant-propagation fixpoint
+          over the sequential abstraction (INFO: elaborated control
+          layers intentionally contain constants that synthesis sweeps)
+LNT007    state element initialised to X (a structural X source)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.rtl.logic import Value, X, is_known
+from repro.rtl.netlist import Netlist, Phase
+from repro.rtl.toposort import canonical_cycle, order_or_cycle, phase_nodes
+
+__all__ = ["combinational_cycle_finding", "lint_netlist"]
+
+
+def combinational_cycle_finding(
+    cycle: Sequence[str], target: str = "", phase: Optional[Phase] = None
+) -> Finding:
+    """The one place the combinational-cycle diagnostic is produced.
+
+    Both simulators raise their
+    :class:`~repro.rtl.toposort.CombinationalCycleError` from this
+    finding (via ``from_finding``), so the scalar and batch engines can
+    never drift apart on the message format.
+    """
+    loop = canonical_cycle(list(cycle))
+    message = "combinational cycle: " + " -> ".join(loop + [loop[0]])
+    if phase is not None:
+        message += f" (phase {phase.value})"
+    return Finding(
+        rule="LNT005",
+        target=target,
+        subject=loop[0],
+        message=message,
+        path=tuple(loop),
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural rules
+# ----------------------------------------------------------------------
+def _drivers(nl: Netlist) -> List[Finding]:
+    tables = (
+        ("input", set(nl.inputs)),
+        ("gate", set(nl.gates)),
+        ("latch", set(nl.latches)),
+        ("flop", set(nl.flops)),
+    )
+    findings = []
+    every: Set[str] = set()
+    for _, sigs in tables:
+        every |= sigs
+    for sig in sorted(every):
+        owners = [kind for kind, sigs in tables if sig in sigs]
+        if sig in nl.inputs and nl.inputs.count(sig) > 1:
+            owners.append("input")
+        if len(owners) > 1:
+            findings.append(Finding(
+                "LNT001", nl.name, sig,
+                f"driven {len(owners)} times (as {', '.join(owners)})",
+            ))
+    return findings
+
+
+def _floating(nl: Netlist) -> List[Finding]:
+    driven = nl.signals()
+    findings = [
+        Finding("LNT002", nl.name, sig, "referenced as fan-in but never driven")
+        for sig in sorted(nl.undriven())
+    ]
+    findings.extend(
+        Finding("LNT002", nl.name, sig, "declared as output but never driven")
+        for sig in sorted(set(nl.outputs) - driven)
+    )
+    return findings
+
+
+def _dead_cells(nl: Netlist) -> List[Finding]:
+    """Cells outside the output cone.  Skipped entirely when the
+    netlist declares no outputs (nothing is observable by definition)."""
+    if not nl.outputs:
+        return []
+    live: Set[str] = set()
+    stack = [o for o in nl.outputs]
+    while stack:
+        sig = stack.pop()
+        if sig in live:
+            continue
+        live.add(sig)
+        stack.extend(nl.fanin(sig))
+    findings = []
+    for kind, table in (("gate", nl.gates), ("latch", nl.latches),
+                        ("flop", nl.flops)):
+        for sig in sorted(set(table) - live):
+            findings.append(Finding(
+                "LNT003", nl.name, sig,
+                f"{kind} is outside the cone of every declared output",
+            ))
+    return findings
+
+
+def _same_phase_paths(nl: Netlist) -> List[Finding]:
+    """LNT004: latch fed by a same-phase latch through gates only."""
+    findings = []
+    for q in sorted(nl.latches):
+        latch = nl.latches[q]
+        # DFS backward from the latch data pin through combinational
+        # gates; the first storage element on each path is the driver
+        # whose phase must differ.
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(latch.d, ())]
+        visited: Set[str] = set()
+        while stack:
+            sig, rev_path = stack.pop()
+            if sig in visited:
+                continue
+            visited.add(sig)
+            if sig in nl.latches:
+                src = nl.latches[sig]
+                if src.phase == latch.phase:
+                    path = (sig, *reversed(rev_path), q)
+                    findings.append(Finding(
+                        "LNT004", nl.name, q,
+                        f"transparent in phase {latch.phase.value} but fed "
+                        f"by same-phase latch {sig!r} "
+                        f"({' -> '.join(path)}): data races through both "
+                        "latches in one phase",
+                        path=path,
+                    ))
+                continue  # any latch ends the combinational path
+            if sig in nl.gates:
+                for i in nl.gates[sig].ins:
+                    stack.append((i, rev_path + (sig,)))
+            # inputs / flops / undriven end the path
+    return findings
+
+
+def _cycles(nl: Netlist) -> List[Finding]:
+    """LNT005: one finding per distinct combinational cycle, both phases."""
+    findings = []
+    seen: Set[Tuple[str, ...]] = set()
+    for phase in (Phase.HIGH, Phase.LOW):
+        nodes = {sig: tuple(ins) for sig, ins in phase_nodes(nl, phase).items()}
+        for _ in range(8):  # cap the per-phase cycle hunt
+            _, cycle = order_or_cycle(nodes)
+            if cycle is None:
+                break
+            key = tuple(canonical_cycle(list(cycle)))
+            if key not in seen:
+                seen.add(key)
+                findings.append(combinational_cycle_finding(cycle, nl.name, phase))
+            # break the cycle (drop the closing dependency) and rescan
+            first, last = key[0], key[-1]
+            nodes[first] = tuple(i for i in nodes[first] if i != last)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Ternary constant propagation
+# ----------------------------------------------------------------------
+def _join(a: Value, b: Value) -> Value:
+    if is_known(a) and is_known(b) and a == b:
+        return a
+    return X
+
+
+def _constant_fixpoint(nl: Netlist) -> Dict[str, Value]:
+    """Abstract values holding in *every* reachable cycle.
+
+    Primary inputs are unconstrained (X); latches and flops start at
+    their declared init value, and each iteration widens the state by
+    joining it with the value its data pin can take.  Latch transparency
+    is abstracted away (the stored value stands in for the output in
+    both phases), which only loses precision, never soundness.
+    """
+    from repro.rtl.simulator import _eval_gate
+
+    state: Dict[str, Value] = {}
+    for q, latch in nl.latches.items():
+        state[q] = latch.init
+    for q, flop in nl.flops.items():
+        state[q] = flop.init
+
+    vals: Dict[str, Value] = {}
+    for _ in range(len(state) + 2):  # state only widens; bounded
+        vals = {s: X for s in nl.inputs}
+        vals.update(state)
+        for _ in range(len(nl.gates) + 2):  # combinational fixpoint
+            changed = False
+            for out, gate in nl.gates.items():
+                new = _eval_gate(gate, vals)
+                old = vals.get(out, X)
+                if new is not old and new != old:
+                    vals[out] = new
+                    changed = True
+            if not changed:
+                break
+        widened = False
+        for q in state:
+            d = nl.latches[q].d if q in nl.latches else nl.flops[q].d
+            new = _join(state[q], vals.get(d, X))
+            if new is not state[q] and new != state[q]:
+                state[q] = new
+                widened = True
+        if not widened:
+            break
+    vals.update(state)
+    return vals
+
+
+def _constants(nl: Netlist) -> List[Finding]:
+    vals = _constant_fixpoint(nl)
+    findings = []
+    for out in sorted(nl.gates):
+        gate = nl.gates[out]
+        if gate.op in ("CONST0", "CONST1"):
+            continue  # constant by declaration, not a finding
+        v = vals.get(out, X)
+        if is_known(v):
+            findings.append(Finding(
+                "LNT006", nl.name, out,
+                f"{gate.op} gate is constant {v} in every reachable cycle",
+            ))
+    return findings
+
+
+def _x_state(nl: Netlist) -> List[Finding]:
+    findings = []
+    for kind, table in (("latch", nl.latches), ("flop", nl.flops)):
+        for q in sorted(table):
+            if not is_known(table[q].init):
+                findings.append(Finding(
+                    "LNT007", nl.name, q,
+                    f"{kind} initialised to X: a structural X source "
+                    "poisoning every cone it feeds",
+                ))
+    return findings
+
+
+def lint_netlist(nl: Netlist, constants: bool = True) -> List[Finding]:
+    """Run every netlist rule; returns the findings unsorted.
+
+    ``constants=False`` skips the LNT006 fixpoint (the only rule with
+    super-linear cost) for latency-sensitive callers.
+    """
+    findings = _drivers(nl)
+    findings += _floating(nl)
+    findings += _dead_cells(nl)
+    findings += _same_phase_paths(nl)
+    findings += _cycles(nl)
+    if constants:
+        findings += _constants(nl)
+    findings += _x_state(nl)
+    return findings

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 serialisation of a :class:`~repro.lint.findings.LintReport`.
+
+One run, one driver (``repro.lint``), the full rule catalog in the
+driver's ``rules`` array (stable indices), one result per finding.
+Subjects are logical locations (nets, channels, controllers) rather
+than files -- the analyzer works on in-memory designs -- and each
+result carries the baseline fingerprint under ``partialFingerprints``
+so SARIF consumers dedupe across runs exactly like the native
+baseline file does.
+
+The output is deterministic: rules and findings are sorted, and the
+JSON dump is key-sorted with a trailing newline, byte-identical across
+runs over the same designs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.findings import LintReport, RULES
+
+__all__ = ["to_sarif", "sarif_json"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(report: LintReport) -> Dict[str, object]:
+    """The SARIF 2.1.0 log object for one lint report."""
+    codes = sorted(RULES)
+    index = {code: i for i, code in enumerate(codes)}
+    rules: List[Dict[str, object]] = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES[code].title},
+            "fullDescription": {"text": RULES[code].clause},
+            "defaultConfiguration": {
+                "level": RULES[code].severity.sarif_level
+            },
+        }
+        for code in codes
+    ]
+    results: List[Dict[str, object]] = []
+    for f in report.findings:
+        result: Dict[str, object] = {
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": f.severity.sarif_level,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "name": f.subject,
+                            "fullyQualifiedName": f"{f.target}::{f.subject}",
+                        }
+                    ]
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": f.fingerprint},
+        }
+        if f.path:
+            result["properties"] = {"path": list(f.path)}
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri":
+                            "https://example.invalid/repro/lint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(report: LintReport) -> str:
+    """Deterministic SARIF bytes (same designs => identical output)."""
+    return json.dumps(to_sarif(report), indent=2, sort_keys=True) + "\n"

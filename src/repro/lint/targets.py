@@ -1,0 +1,143 @@
+"""The ``repro lint`` target registry: every shipped design, lintable.
+
+A lint target is a zero-argument builder returning findings.  The
+registry spans all three front-ends:
+
+* ``fig9:<config>`` -- each Table 1 configuration, checked at all
+  levels: the spec, the elaborated behavioural network, and the
+  gate/latch control netlist (with environment stubs);
+* ``verif:<design>`` -- the model-checking testbench netlists;
+* ``rtl:<name>`` -- the fault-campaign controller netlists
+  (Fig. 5-7 + the variable-latency interface);
+* ``processor`` -- the hand-built Sect. 7 elastic processor network;
+* ``zoo:<defect>`` -- intentionally broken designs kept as negative
+  smoke targets (CI asserts they exit nonzero).
+
+Builders are lazy: nothing is elaborated until a target is linted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.lint.elastic_rules import lint_network, lint_spec
+from repro.lint.findings import Finding, LintReport
+from repro.lint.netlist_rules import lint_netlist
+
+__all__ = ["LINT_TARGETS", "all_targets", "run_lint"]
+
+
+def _fig9(config_name: str) -> Callable[[], List[Finding]]:
+    def build() -> List[Finding]:
+        from repro.casestudy.fig9 import Config, build_fig9_spec
+        from repro.synthesis.elaborate import to_behavioral, to_gates
+
+        spec = build_fig9_spec(Config[config_name])
+        findings = lint_spec(spec)
+        if not any(f.severity.name == "ERROR" for f in findings):
+            findings += lint_network(to_behavioral(spec))
+            findings += lint_netlist(
+                to_gates(spec, include_env=True, as_latches=True).netlist
+            )
+        return findings
+
+    return build
+
+
+def _verif(design: str) -> Callable[[], List[Finding]]:
+    def build() -> List[Finding]:
+        from repro.verif.testbenches import DESIGNS, diamond_with_feedback
+
+        nl, _, _ = diamond_with_feedback(**DESIGNS[design])
+        return lint_netlist(nl)
+
+    return build
+
+
+def _rtl(name: str) -> Callable[[], List[Finding]]:
+    def build() -> List[Finding]:
+        from repro.faults.targets import TARGETS
+
+        return lint_netlist(TARGETS[name]().netlist)
+
+    return build
+
+
+def _processor() -> List[Finding]:
+    from repro.casestudy.processor import ProcessorConfig, build_processor
+
+    net, _, _ = build_processor(ProcessorConfig())
+    return lint_network(net)
+
+
+def _zoo_capacity1() -> List[Finding]:
+    """A capacity-1 register loop holding one token: full, bubble-free."""
+    from repro.synthesis.spec import SystemSpec
+
+    spec = SystemSpec("zoo[capacity1]")
+    spec.add_source("Din")
+    spec.add_sink("Dout")
+    spec.add_block("A", n_inputs=2, n_outputs=2)
+    spec.add_register("R", capacity=1, initial_tokens=1)
+    spec.connect(spec.source("Din"), spec.block_in("A", 0))
+    spec.connect(spec.register_out("R"), spec.block_in("A", 1))
+    spec.connect(spec.block_out("A", 0), spec.sink("Dout"))
+    spec.connect(spec.block_out("A", 1), spec.register_in("R"))
+    return lint_spec(spec)
+
+
+def _zoo_comb_cycle() -> List[Finding]:
+    """A two-gate combinational loop (the classic LNT005 defect)."""
+    from repro.rtl.netlist import Netlist
+
+    nl = Netlist("zoo[comb_cycle]")
+    a = nl.add_input("a")
+    nl.add_gate("AND", (a, "y"), out="x")
+    nl.add_gate("BUF", ("x",), out="y")
+    nl.add_output("y")
+    return lint_netlist(nl)
+
+
+LINT_TARGETS: Dict[str, Callable[[], List[Finding]]] = {
+    "fig9:active": _fig9("ACTIVE"),
+    "fig9:no_buffer": _fig9("NO_BUFFER"),
+    "fig9:passive_f3w": _fig9("PASSIVE_F3W"),
+    "fig9:passive_m2w": _fig9("PASSIVE_M2W"),
+    "fig9:lazy": _fig9("LAZY"),
+    "verif:diamond": _verif("diamond"),
+    "verif:early": _verif("early"),
+    "verif:vl": _verif("vl"),
+    "rtl:dual_ehb": _rtl("dual_ehb"),
+    "rtl:dual_ehb_latches": _rtl("dual_ehb_latches"),
+    "rtl:join": _rtl("join"),
+    "rtl:early_join": _rtl("early_join"),
+    "rtl:fork": _rtl("fork"),
+    "rtl:passive": _rtl("passive"),
+    "rtl:vl": _rtl("vl"),
+    "processor": _processor,
+    "zoo:capacity1": _zoo_capacity1,
+    "zoo:comb_cycle": _zoo_comb_cycle,
+}
+
+
+def all_targets(include_zoo: bool = False) -> List[str]:
+    """The default target set (the zoo is opt-in: it is meant to fail)."""
+    return [
+        name for name in sorted(LINT_TARGETS)
+        if include_zoo or not name.startswith("zoo:")
+    ]
+
+
+def run_lint(targets: Sequence[str]) -> LintReport:
+    """Lint the named targets into one report."""
+    report = LintReport()
+    for name in targets:
+        try:
+            builder = LINT_TARGETS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown lint target {name!r}; pick from "
+                f"{', '.join(sorted(LINT_TARGETS))}"
+            ) from None
+        report.extend(builder())
+    return report

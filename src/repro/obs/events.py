@@ -22,6 +22,9 @@ invariant  the equation (2) invariant broke on the channel (fault runs)
 stall      a no-progress watchdog fired; ``extra`` carries the
            :class:`~repro.resilience.StallDiagnosis` fields (the
            asserted-Stop cycle, the blocked wires, the window)
+finding    a static-analysis finding (:mod:`repro.lint`); ``value`` is
+           the rule code, ``extra`` the severity/target/message (and
+           cycle path when the rule reports one); stamped cycle 0
 ========== ===========================================================
 
 ``subject`` names the channel or wire; the behavioural channel wires
@@ -49,6 +52,7 @@ EVENT_KINDS = (
     "ee-fire",
     "invariant",
     "stall",
+    "finding",
 )
 
 

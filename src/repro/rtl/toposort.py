@@ -46,10 +46,22 @@ class CombinationalCycleError(RuntimeError):
 
     @classmethod
     def from_cycle(cls, cycle: List[str]) -> "CombinationalCycleError":
-        """The canonical error for one structural cycle path."""
-        cycle = canonical_cycle(cycle)
-        loop = " -> ".join(cycle + [cycle[0]])
-        return cls(f"combinational cycle: {loop}", cycle=cycle)
+        """The canonical error for one structural cycle path.
+
+        Delegates the diagnostic to the LNT005 lint rule (the import is
+        deferred: the lint package sits above the rtl layer), so the
+        scalar engine, the batch engine and ``repro lint`` produce the
+        message from exactly one place.
+        """
+        from repro.lint.netlist_rules import combinational_cycle_finding
+
+        return cls.from_finding(combinational_cycle_finding(cycle))
+
+    @classmethod
+    def from_finding(cls, finding) -> "CombinationalCycleError":
+        """The error for one LNT005 lint finding (duck-typed: anything
+        with ``message`` and ``path`` attributes)."""
+        return cls(finding.message, cycle=list(finding.path))
 
 
 def canonical_cycle(cycle: List[str]) -> List[str]:

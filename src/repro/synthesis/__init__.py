@@ -36,8 +36,11 @@ from repro.synthesis.elaborate import (
 )
 from repro.synthesis.abstraction import check_liveness, spec_to_dmg, throughput_bound
 from repro.synthesis.dot import spec_to_dot
+from repro.synthesis.flow import ElasticLintError, elasticize
 
 __all__ = [
+    "ElasticLintError",
+    "elasticize",
     "check_liveness",
     "spec_to_dmg",
     "spec_to_dot",

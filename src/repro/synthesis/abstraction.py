@@ -76,9 +76,11 @@ def spec_to_dmg(
         if conn.src[0] == "register":
             tokens = spec.registers[src].initial_tokens
         g.add_arc(src, dst, tokens=tokens, name=conn.name)
-        # Spare capacity: an EB holds two tokens; a direct channel one
-        # in-flight handshake slot.
-        capacity = 2 if conn.src[0] == "register" else 1
+        # Spare capacity: an EB holds ``capacity`` tokens; a direct
+        # channel one in-flight handshake slot.
+        capacity = (
+            spec.registers[src].capacity if conn.src[0] == "register" else 1
+        )
         g.add_arc(dst, src, tokens=capacity - tokens, name=f"~{conn.name}")
 
     # Close the environment: every sink feeds every source through a

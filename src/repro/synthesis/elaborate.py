@@ -118,6 +118,7 @@ def to_behavioral(
                 r.name,
                 channel_at(("register", r.name, "in"), "dst"),
                 channel_at(("register", r.name, "out"), "src"),
+                capacity=r.capacity,
                 initial_tokens=r.initial_tokens,
                 initial_data=r.initial_data,
             )
@@ -266,6 +267,11 @@ def to_gates(
                 nl.const0(out=ch.vn)
 
     for r in spec.registers.values():
+        if r.capacity != 2:
+            raise ValueError(
+                f"{r.name}: the gate-level backend only emits the dual "
+                f"EB of two EHBs (capacity 2), got capacity {r.capacity}"
+            )
         left, _ = channel_at(("register", r.name, "in"), "dst")
         right, _ = channel_at(("register", r.name, "out"), "src")
         build_elastic_buffer(

@@ -91,11 +91,19 @@ class BlockSpec:
 
 @dataclass
 class RegisterSpec:
-    """A datapath register -> one EB controller (two EHBs)."""
+    """A datapath register -> one EB controller.
+
+    ``capacity`` is the token capacity of the buffer (2 = the paper's
+    dual EB of two EHBs, the only size the gate-level backend emits).
+    Undersized buffers are legal to *declare* -- the lint pass and
+    :func:`~repro.synthesis.flow.elasticize` reject the configurations
+    that deadlock (a full capacity-1 loop has no bubble to move into).
+    """
 
     name: str
     initial_tokens: int = 0
     initial_data: Optional[Sequence[object]] = None
+    capacity: int = 2
 
 
 @dataclass

@@ -1,0 +1,69 @@
+"""The opt-in ``degradation`` key of the campaign report."""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    _degradation_summary,
+    run_campaign,
+)
+from repro.obs import MetricsRegistry
+
+CONFIG = CampaignConfig(cycles=120, seed=2007)
+
+
+def test_default_report_has_no_degradation_key():
+    report = run_campaign("join", CONFIG, lanes=8)
+    assert report.degradation is None
+    assert "degradation" not in report.to_dict()
+
+
+def test_opt_in_adds_the_key_without_touching_outcomes():
+    plain = run_campaign("join", CONFIG, lanes=8)
+    with_key = run_campaign("join", CONFIG, lanes=8, degradation=True)
+    assert [o.to_dict() for o in plain.outcomes] == [
+        o.to_dict() for o in with_key.outcomes
+    ]
+    summary = with_key.degradation
+    assert summary == with_key.to_dict()["degradation"]
+    assert summary["enabled"] is True
+    assert summary["lanes"] == 8
+    # A healthy sweep quarantines nothing.
+    assert summary["quarantined"] == 0
+    assert summary["by_reason"] == {}
+    # The rest of the report is unchanged: stripping the key restores
+    # the byte-identical golden serialisation.
+    with_key.degradation = None
+    assert plain.to_json() == with_key.to_json()
+
+
+def test_scalar_campaign_reports_degradation_disabled():
+    report = run_campaign("join", CONFIG, lanes=1, degradation=True)
+    assert report.degradation["enabled"] is False
+    assert report.degradation["lanes"] == 1
+
+
+def test_summary_tallies_quarantines_by_reason():
+    registry = MetricsRegistry()
+    registry.counter(
+        "campaign_lane_quarantine_total", reason="integrity", target="join"
+    ).inc(3)
+    registry.counter(
+        "campaign_lane_quarantine_total", reason="compile", target="join"
+    ).inc(8)
+    registry.counter(  # another target's lanes must not leak in
+        "campaign_lane_quarantine_total", reason="integrity", target="fork"
+    ).inc(5)
+    registry.counter("campaign_shard_retries_total", reason="timeout").inc(2)
+    summary = _degradation_summary(registry, "join", lanes=8, degrade=True)
+    assert summary["quarantined"] == 11
+    assert summary["by_reason"] == {"compile": 8, "integrity": 3}
+    assert summary["shard_retries"] == 2
+
+
+def test_degradation_serialises_next_to_metrics():
+    report = CampaignReport(target="t", seed=1, cycles=10)
+    report.metrics = {"wall_time_s": 0.5}
+    report.degradation = {"enabled": True, "quarantined": 0}
+    d = report.to_dict()
+    assert d["metrics"] == {"wall_time_s": 0.5}
+    assert d["degradation"] == {"enabled": True, "quarantined": 0}

@@ -1,0 +1,67 @@
+"""elasticize(): build-time deadlock diagnosis on the way to a network."""
+
+import pytest
+
+from repro.elastic.behavioral import ElasticNetwork
+from repro.synthesis import ElasticLintError, elasticize
+from repro.synthesis.spec import SystemSpec
+
+from tests.lint.test_elastic_rules import loop_spec, pipeline_spec
+
+
+def test_elasticize_builds_and_runs_a_healthy_spec():
+    net = elasticize(pipeline_spec(), seed=7)
+    assert isinstance(net, ElasticNetwork)
+    net.run(50)
+    assert net.cycle == 50
+
+
+def test_elasticize_rejects_a_full_capacity1_loop():
+    with pytest.raises(ElasticLintError) as err:
+        elasticize(loop_spec(capacity=1, initial_tokens=1))
+    exc = err.value
+    assert [f.rule for f in exc.errors] == ["ELX005"]
+    # The diagnosis names the offending cycle...
+    assert exc.errors[0].path == ("A", "R")
+    assert "A -> R -> A" in str(exc)
+    # ...and the full findings ride along for rendering.
+    assert exc.findings == exc.errors
+
+
+def test_elasticize_rejects_a_token_free_loop():
+    with pytest.raises(ElasticLintError) as err:
+        elasticize(loop_spec(capacity=2, initial_tokens=0))
+    assert [f.rule for f in err.value.errors] == ["ELX004"]
+
+
+def test_elasticize_opt_out_builds_the_deadlocking_network():
+    net = elasticize(loop_spec(capacity=1, initial_tokens=1), lint=False)
+    assert isinstance(net, ElasticNetwork)
+
+
+def test_elasticize_ignores_info_findings():
+    spec = pipeline_spec()
+    spec.connections[0].passive = True  # ELX007, INFO only
+    assert isinstance(elasticize(spec), ElasticNetwork)
+
+
+def test_undersized_capacity_is_a_gate_level_error():
+    """The behavioural backend honours capacity; the gate-level backend
+    only emits the paper's dual EB and says so."""
+    from repro.synthesis.elaborate import to_gates
+
+    spec = loop_spec(capacity=1, initial_tokens=0)
+    spec.registers["R"].capacity = 3
+    with pytest.raises(ValueError, match="capacity 3"):
+        to_gates(spec)
+
+
+def test_behavioral_backend_honours_capacity():
+    from repro.elastic.behavioral import ElasticBuffer
+    from repro.synthesis.elaborate import to_behavioral
+
+    spec = pipeline_spec(capacity=4, initial_tokens=3)
+    net = to_behavioral(spec)
+    eb = [c for c in net.controllers if isinstance(c, ElasticBuffer)][0]
+    assert eb.capacity == 4
+    assert eb.count == 3

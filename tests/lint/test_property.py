@@ -1,0 +1,77 @@
+"""Property: structurally well-formed generated netlists lint clean.
+
+The generator builds layered DAG netlists -- every signal driven once,
+every gate's fan-in already defined, every cell reachable from an
+output -- so none of the structural ERROR/WARNING rules may fire.
+LNT006 (INFO) is allowed: random logic over constants may well be
+constant, and that is exactly what the note reports.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lint import lint_netlist
+from repro.lint.findings import Severity
+from repro.rtl.netlist import Netlist, Phase
+
+OPS1 = ("BUF", "NOT")
+OPS2 = ("AND", "OR", "XOR", "NAND", "NOR")
+
+
+@st.composite
+def netlists(draw):
+    nl = Netlist("generated")
+    signals = [nl.add_input(f"in{i}")
+               for i in range(draw(st.integers(1, 3)))]
+    # Which latch phases reach each signal through gates only; a latch
+    # must pick the other phase (the two-phase discipline LNT004 checks).
+    comb_phases = {s: frozenset() for s in signals}
+    n_cells = draw(st.integers(1, 12))
+    for _ in range(n_cells):
+        kind = draw(st.sampled_from(("gate1", "gate2", "flop", "latch")))
+        a = draw(st.sampled_from(signals))
+        if kind == "gate1":
+            out = nl.add_gate(draw(st.sampled_from(OPS1)), (a,))
+            comb_phases[out] = comb_phases[a]
+        elif kind == "gate2":
+            b = draw(st.sampled_from(signals))
+            out = nl.add_gate(draw(st.sampled_from(OPS2)), (a, b))
+            comb_phases[out] = comb_phases[a] | comb_phases[b]
+        elif kind == "latch" and len(comb_phases[a]) < 2:
+            allowed = sorted(
+                set(Phase) - comb_phases[a], key=lambda p: p.value
+            )
+            phase = draw(st.sampled_from(allowed))
+            out = nl.add_latch(a, phase, init=draw(st.sampled_from((0, 1))))
+            comb_phases[out] = frozenset({phase})
+        else:  # flop, or a latch pinched between both phases
+            out = nl.add_flop(a, init=draw(st.sampled_from((0, 1))))
+            comb_phases[out] = frozenset()
+        signals.append(out)
+    # Declare every sink-less signal an output: nothing is dead.
+    consumed = set()
+    for gate in nl.gates.values():
+        consumed.update(gate.ins)
+    for latch in nl.latches.values():
+        consumed.add(latch.d)
+    for flop in nl.flops.values():
+        consumed.add(flop.d)
+    for sig in signals:
+        if sig not in consumed:
+            nl.add_output(sig)
+    return nl
+
+
+@given(netlists())
+@settings(max_examples=40, deadline=None)
+def test_generated_clean_netlists_lint_clean(nl):
+    findings = lint_netlist(nl)
+    problems = [f for f in findings if f.severity > Severity.INFO]
+    assert problems == [], "\n".join(str(f) for f in problems)
+
+
+@given(netlists())
+@settings(max_examples=15, deadline=None)
+def test_lint_is_deterministic_per_netlist(nl):
+    first = [str(f) for f in lint_netlist(nl)]
+    second = [str(f) for f in lint_netlist(nl)]
+    assert first == second

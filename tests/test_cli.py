@@ -257,3 +257,61 @@ class TestVerifyCheckpoint:
         assert main(["verify", "--design", "early",
                      "--checkpoint", str(store)]) == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_list_targets(self, capsys):
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9:active" in out and "zoo:capacity1" in out
+
+    def test_clean_target_exits_zero(self, capsys):
+        assert main(["lint", "rtl:join"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_zoo_target_exits_nonzero(self, capsys):
+        assert main(["lint", "zoo:capacity1"]) == 1
+        out = capsys.readouterr().out
+        assert "ELX005" in out and "new error(s)" in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit, match="unknown lint target"):
+            main(["lint", "bogus:target"])
+
+    def test_json_and_sarif_written(self, tmp_path, capsys):
+        json_path = tmp_path / "findings.json"
+        sarif_path = tmp_path / "findings.sarif"
+        assert main(["lint", "zoo:comb_cycle",
+                     "--json", str(json_path),
+                     "--sarif", str(sarif_path)]) == 1
+        import json as jsonlib
+        findings = jsonlib.loads(json_path.read_text())
+        assert findings["findings"][0]["rule"] == "LNT005"
+        sarif = jsonlib.loads(sarif_path.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["results"][0]["ruleId"] == "LNT005"
+
+    def test_baseline_suppresses_known_errors(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "zoo:capacity1",
+                     "--write-baseline", str(baseline)]) == 1
+        capsys.readouterr()
+        assert main(["lint", "zoo:capacity1",
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+
+    def test_inject_degradation_flag(self, tmp_path, capsys):
+        report = tmp_path / "r.json"
+        assert main(["inject", "--netlist", "dual_ehb", "--cycles", "120",
+                     "--lanes", "8", "--degradation",
+                     "--report", str(report)]) == 0
+        import json as jsonlib
+        payload = jsonlib.loads(report.read_text())
+        assert payload["degradation"]["enabled"] is True
+        assert payload["degradation"]["quarantined"] == 0
+
+    def test_processor_rejects_degradation(self):
+        with pytest.raises(SystemExit, match="RTL netlist"):
+            main(["inject", "--netlist", "processor", "--degradation"])
