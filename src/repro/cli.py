@@ -16,9 +16,12 @@ Usage (after ``pip install -e .``)::
                              [--metrics] [--degradation] [--progress]
                              [--checkpoint dir] [--resume dir]
                              [--shard-timeout 60] [--max-retries 2]
+                             [--backend batch|compiled] [--cache dir]
+    python -m repro build    [target ...] [--cache dir] [--stats] [--clear]
     python -m repro lint     [target ...] [--list] [--json out.json]
                              [--sarif out.sarif] [--baseline file]
-                             [--write-baseline file]
+                             [--write-baseline file] [--no-cache]
+                             [--cache dir]
     python -m repro trace    [--config active|...|pipeline] [--cycles 64]
                              [--vcd out.vcd] [--events out.jsonl]
     python -m repro stats    [--config active] [--cycles 5000] [--seed 0]
@@ -263,6 +266,11 @@ def cmd_inject(args: argparse.Namespace) -> int:
             "--checkpoint/--resume need an RTL netlist; the behavioural "
             "processor campaign is not checkpointed"
         )
+    if args.netlist == "processor" and args.backend != "batch":
+        raise SystemExit(
+            "--backend needs an RTL netlist; the behavioural processor "
+            "campaign has no gate netlist to compile"
+        )
     registry = None
     if args.metrics:
         from repro.obs import MetricsRegistry
@@ -309,6 +317,8 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 shard_timeout=args.shard_timeout,
                 max_retries=args.max_retries,
                 degradation=args.degradation,
+                backend=args.backend,
+                cache=args.cache,
             )
         except KeyboardInterrupt:
             hint = (
@@ -359,6 +369,51 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 0 if report.coverage == 1.0 else 1
 
 
+def cmd_build(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.codegen import build_cache, process_stats
+
+    cache = build_cache(args.cache)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} artifact(s) from {cache.root}")
+    targets = args.targets
+    if not targets and not args.clear and not args.stats:
+        from repro.faults.targets import TARGETS
+
+        targets = sorted(TARGETS)
+    if targets:
+        from repro.faults.targets import TARGETS
+
+        unknown = [name for name in targets if name not in TARGETS]
+        if unknown:
+            raise SystemExit(
+                f"unknown build target(s) {', '.join(sorted(unknown))}; "
+                f"pick from {', '.join(sorted(TARGETS))}"
+            )
+        for name in targets:
+            tgt = TARGETS[name]()
+            before = process_stats()["hits"]
+            t0 = perf_counter()
+            module = cache.load_module(
+                tgt.netlist,
+                hooks=frozenset(tgt.fault_sites),
+                observe=frozenset(tgt.observe),
+            )
+            ms = (perf_counter() - t0) * 1e3
+            verb = "cached" if process_stats()["hits"] > before else "built"
+            print(f"{name:18s} {verb:6s} {module.KEY[:16]} {ms:8.1f} ms")
+    if args.stats:
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries:    {stats['entries']}")
+        print(f"bytes:      {stats['bytes']}")
+        print(f"process:    {stats['hits']} hit(s), "
+              f"{stats['misses']} miss(es) since start")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         all_targets,
@@ -377,8 +432,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(name)
         return 0
     targets = args.targets or all_targets()
+    cache = None
+    if not args.no_cache:
+        from repro.codegen import build_cache
+
+        cache = build_cache(args.cache)
     try:
-        report = run_lint(targets)
+        report = run_lint(targets, cache=cache)
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]))
     if args.json:
@@ -494,7 +554,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-baseline", default=None,
                    help="record every finding's fingerprint to this file "
                         "(accepting the current findings as intentional)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="build-cache directory serving netlist findings "
+                        "for unchanged designs (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro/codegen)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-evaluate every rule instead of reading the "
+                        "findings cache")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "build",
+        help="pre-compile campaign netlists into the codegen build cache",
+    )
+    p.add_argument("targets", nargs="*",
+                   help="campaign targets to compile (default: all of "
+                        "them; with --stats/--clear alone, none)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="build-cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro/codegen)")
+    p.add_argument("--stats", action="store_true",
+                   help="print cache entries, bytes, and the process "
+                        "hit/miss tallies")
+    p.add_argument("--clear", action="store_true",
+                   help="delete every cached artifact first")
+    p.set_defaults(func=cmd_build)
 
     p = sub.add_parser(
         "inject", help="run a fault-injection campaign with online monitors"
@@ -547,6 +631,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=2,
                    help="how many times a crashed/hung/erroring chunk is "
                         "requeued before the campaign fails (default 2)")
+    p.add_argument("--backend", choices=("batch", "compiled"),
+                   default="batch",
+                   help="lane-parallel engine: the interpreted batch "
+                        "kernel, or the cached compiled-module backend; "
+                        "reports are byte-identical either way")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="build-cache directory for --backend compiled "
+                        "(default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/codegen)")
     p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser(

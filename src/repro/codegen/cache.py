@@ -1,0 +1,262 @@
+"""Content-addressed on-disk cache of generated simulator modules.
+
+Layout (one directory per artifact, named by its SHA-256 key)::
+
+    <root>/
+      <key>/module.py    generated source (importable, diffable)
+      <key>/meta.json    {"key", "codegen_version", "netlist", ...}
+      <key>/data.json    JSON payload artifacts (lint findings, ...)
+
+Every write goes through the :mod:`repro.resilience.checkpoint`
+hygiene -- serialise to a tmp file in the same directory, ``fsync``,
+``os.replace`` -- so a SIGKILL mid-build leaves either a complete
+artifact or ignorable debris, and concurrent builders (campaign worker
+processes warming the same cache) race benignly: last rename wins with
+byte-identical content.
+
+Loads verify before trusting: the meta fingerprint and codegen version
+must match the requested key, and the imported module must carry the
+same ``KEY``.  Any mismatch -- a hand-edited artifact, a cache written
+by a different codegen version, a torn file -- is treated as absent
+and rebuilt (invalidation is just a key change or a failed check).
+
+Three tiers: an in-process module dict (same :class:`BuildCache`
+instance), the disk artifact, then a fresh build.  Hits and misses are
+tallied both into process-global counters (``repro build --stats``)
+and, when a :class:`~repro.obs.metrics.MetricsRegistry` is attached,
+into ``codegen_cache_{hits,misses}_total{tier,kind}`` series.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import shutil
+from pathlib import Path
+from types import ModuleType
+from typing import Dict, FrozenSet, Optional, Union
+
+from repro.codegen.emit import emit_module
+from repro.codegen.fingerprint import (
+    CODEGEN_VERSION,
+    artifact_key,
+    netlist_fingerprint,
+)
+from repro.resilience.checkpoint import atomic_write_json, atomic_write_text
+from repro.rtl.netlist import Netlist
+
+__all__ = [
+    "BuildCache",
+    "build_cache",
+    "default_cache_dir",
+    "process_stats",
+    "reset_process_stats",
+]
+
+#: Process-lifetime hit/miss tallies across every BuildCache instance.
+_PROCESS_STATS = {"hits": 0, "misses": 0}
+
+
+def process_stats() -> Dict[str, int]:
+    """Hits/misses since process start (all caches, all tiers)."""
+    return dict(_PROCESS_STATS)
+
+
+def reset_process_stats() -> None:
+    _PROCESS_STATS["hits"] = 0
+    _PROCESS_STATS["misses"] = 0
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else the XDG cache, else ``~/.cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "codegen"
+
+
+class BuildCache:
+    """One cache root: load-or-build generated modules and JSON blobs."""
+
+    MODULE = "module.py"
+    META = "meta.json"
+    DATA = "data.json"
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        metrics=None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.metrics = metrics
+        self._modules: Dict[str, ModuleType] = {}
+        self._json: Dict[str, object] = {}
+
+    # -- bookkeeping ---------------------------------------------------
+    def _count(self, hit: bool, tier: str, kind: str) -> None:
+        _PROCESS_STATS["hits" if hit else "misses"] += 1
+        if self.metrics is not None:
+            name = ("codegen_cache_hits_total" if hit
+                    else "codegen_cache_misses_total")
+            self.metrics.counter(name, tier=tier, kind=kind).inc()
+
+    def _dir(self, key: str) -> Path:
+        return self.root / key
+
+    # -- generated modules ---------------------------------------------
+    def load_module(
+        self,
+        netlist: Netlist,
+        hooks: Optional[FrozenSet[str]] = None,
+        observe: Optional[FrozenSet[str]] = None,
+    ) -> ModuleType:
+        """The generated module for ``netlist`` + options, building at
+        most once per key (memory tier, then disk, then emit)."""
+        key = artifact_key(netlist, hooks, observe)
+        module = self._modules.get(key)
+        if module is not None:
+            self._count(True, "memory", "module")
+            return module
+        module = self._import_verified(key)
+        if module is not None:
+            self._count(True, "disk", "module")
+            self._modules[key] = module
+            return module
+        self._count(False, "disk", "module")
+        source = emit_module(netlist, hooks, observe)
+        directory = self._dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(directory / self.MODULE, source)
+        atomic_write_json(directory / self.META, {
+            "kind": "compiled-simulator",
+            "key": key,
+            "codegen_version": CODEGEN_VERSION,
+            "netlist": netlist.name,
+            "fingerprint": netlist_fingerprint(netlist),
+            "hooks": sorted(hooks) if hooks is not None else None,
+            "observe": sorted(observe) if observe is not None else None,
+        })
+        module = self._import_verified(key)
+        if module is None:  # pragma: no cover - emit/write just succeeded
+            raise RuntimeError(f"cache artifact {key} unreadable after build")
+        self._modules[key] = module
+        return module
+
+    def _import_verified(self, key: str) -> Optional[ModuleType]:
+        """Import one disk artifact, or None when absent/invalid."""
+        directory = self._dir(key)
+        meta_path = directory / self.META
+        module_path = directory / self.MODULE
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(meta, dict):
+            return None
+        if meta.get("key") != key:
+            return None
+        if meta.get("codegen_version") != CODEGEN_VERSION:
+            return None
+        if not module_path.is_file():
+            return None
+        name = f"repro_codegen_{key[:24]}"
+        try:
+            spec = importlib.util.spec_from_file_location(
+                name, module_path
+            )
+            if spec is None or spec.loader is None:  # pragma: no cover
+                return None
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        except (OSError, SyntaxError):  # torn or hand-mangled artifact
+            return None
+        if getattr(module, "KEY", None) != key:
+            return None
+        return module
+
+    # -- JSON payload artifacts (lint findings, ...) -------------------
+    def load_json(self, key: str) -> Optional[object]:
+        """A cached JSON payload, or None on miss (counted)."""
+        payload = self._json.get(key)
+        if payload is not None:
+            self._count(True, "memory", "json")
+            return payload
+        path = self._dir(key) / self.DATA
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self._count(False, "disk", "json")
+            return None
+        self._count(True, "disk", "json")
+        self._json[key] = payload
+        return payload
+
+    def store_json(self, key: str, payload: object, meta: Dict) -> None:
+        """Persist one JSON payload artifact under ``key``."""
+        directory = self._dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(directory / self.DATA, payload)
+        atomic_write_json(directory / self.META, {"key": key, **meta})
+        self._json[key] = payload
+
+    # -- maintenance ---------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Entries and bytes on disk plus process hit/miss tallies."""
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for entry in self.root.iterdir():
+                if not entry.is_dir() or not (entry / self.META).is_file():
+                    continue
+                entries += 1
+                for item in entry.iterdir():
+                    try:
+                        size += item.stat().st_size
+                    except OSError:  # pragma: no cover - racing delete
+                        pass
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": size,
+            **process_stats(),
+        }
+
+    def clear(self) -> int:
+        """Delete every artifact directory; returns how many."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in list(self.root.iterdir()):
+                if entry.is_dir() and (entry / self.META).is_file():
+                    shutil.rmtree(entry, ignore_errors=True)
+                    removed += 1
+        self._modules.clear()
+        self._json.clear()
+        return removed
+
+
+#: Shared instances keyed by resolved root, so every loader against the
+#: same directory also shares the in-memory module tier.
+_CACHES: Dict[str, BuildCache] = {}
+
+
+def build_cache(
+    root: Union[str, Path, None] = None, metrics=None
+) -> BuildCache:
+    """The shared :class:`BuildCache` for ``root`` (default dir if None).
+
+    Reuses one instance per resolved root path; a ``metrics`` registry
+    passed later is attached to the existing instance.
+    """
+    resolved = str(Path(root) if root is not None else default_cache_dir())
+    cache = _CACHES.get(resolved)
+    if cache is None:
+        cache = BuildCache(resolved, metrics=metrics)
+        _CACHES[resolved] = cache
+    elif metrics is not None:
+        cache.metrics = metrics
+    return cache

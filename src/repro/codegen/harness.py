@@ -1,0 +1,58 @@
+"""The compiled-backend fault-campaign harness.
+
+:class:`CompiledCampaignHarness` is
+:class:`~repro.faults.batch.BatchCampaignHarness` with its simulator
+swapped for a :class:`~repro.codegen.sim.CompiledSimulator` restricted
+to exactly what a campaign touches: override hooks at the target's
+fault sites, end-of-cycle writeback at the target's observed wires
+(the union of every monitor's read set).  Everything else -- stimulus,
+golden recording, the word-wide monitor bank, chunk classification --
+is inherited unchanged, which is why the two backends produce
+byte-identical campaign reports: they share all classification code
+and the generated kernel reproduces the batch kernel's per-cycle plane
+values at every observed slot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+from repro.codegen.cache import BuildCache
+from repro.codegen.sim import CompiledSimulator
+from repro.faults.batch import BatchCampaignHarness
+from repro.faults.campaign import CampaignConfig
+from repro.faults.targets import RtlTarget
+
+__all__ = ["CompiledCampaignHarness"]
+
+
+class CompiledCampaignHarness(BatchCampaignHarness):
+    """Lane-parallel campaign harness on the compiled backend.
+
+    ``cache`` is a :class:`~repro.codegen.cache.BuildCache`, a cache
+    directory path, or ``None`` for the default cache dir.
+    """
+
+    def __init__(
+        self,
+        target: RtlTarget,
+        config: CampaignConfig,
+        lanes: int = 64,
+        metrics: Optional["MetricsRegistry"] = None,
+        cache: Union[BuildCache, str, None] = None,
+    ) -> None:
+        self._cache = cache
+        super().__init__(target, config, lanes, metrics)
+
+    def _make_sim(self) -> CompiledSimulator:
+        return CompiledSimulator(
+            self.target.netlist,
+            self.lanes,
+            hooks=frozenset(self.target.fault_sites),
+            observe=frozenset(self.target.observe),
+            cache=self._cache,
+            metrics=self.metrics,
+        )

@@ -215,9 +215,20 @@ class BatchedCrossCheck:
     exactly like the scalar harness, any mismatch -- reported with the
     offending lane's seed -- replays verbatim on a plain
     ``factory(seed).run(...)``.
+
+    ``backend="compiled"`` swaps the gate twin for a
+    :class:`~repro.codegen.sim.CompiledSimulator` restricted to the
+    compared wires (``cache`` names its build-cache directory); the
+    lock-step comparison itself is backend-agnostic.
     """
 
-    def __init__(self, factory, seeds: Sequence[int]):
+    def __init__(
+        self,
+        factory,
+        seeds: Sequence[int],
+        backend: str = "batch",
+        cache=None,
+    ):
         seeds = list(seeds)
         if not 1 <= len(seeds) <= 64:
             raise ValueError("need between 1 and 64 seeds per batch")
@@ -227,7 +238,27 @@ class BatchedCrossCheck:
             factory(seed) for seed in seeds
         ]
         self.netlist = self.harnesses[0].netlist
-        self.sim = BatchSimulator(self.netlist, lanes=len(seeds))
+        if backend == "compiled":
+            from repro.codegen.sim import CompiledSimulator
+
+            compared = set()
+            for harness in self.harnesses:
+                for _ch, gch, ctrl_role in harness.triples:
+                    if ctrl_role == "producer":
+                        compared.update((gch.vp, gch.sn))
+                    else:
+                        compared.update((gch.sp, gch.vn))
+            self.sim = CompiledSimulator(
+                self.netlist, lanes=len(seeds),
+                hooks=frozenset(), observe=frozenset(compared),
+                cache=cache,
+            )
+        elif backend == "batch":
+            self.sim = BatchSimulator(self.netlist, lanes=len(seeds))
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; pick 'batch' or 'compiled'"
+            )
         # Comparison plan per lane: the controller-driven gate wires and
         # the behavioural channel each must be read from, pre-resolved
         # to plane-array slots.

@@ -430,7 +430,7 @@ class BatchCampaignHarness:
         self.config = config
         self.lanes = lanes
         self.metrics = metrics
-        self.sim = BatchSimulator(target.netlist, lanes)
+        self.sim = self._make_sim()
         self.stimulus = make_stimulus(
             target.free_inputs, config.cycles, config.seed
         )
@@ -444,6 +444,16 @@ class BatchCampaignHarness:
         self._golden_monitor = BatchGoldenMonitor.from_scalar(
             target.observe, self.golden, self.sim
         )
+
+    def _make_sim(self):
+        """The lane-parallel simulator driving this harness.
+
+        Overridden by the compiled-backend harness
+        (:class:`repro.codegen.harness.CompiledCampaignHarness`); every
+        other harness behavior -- golden recording, monitor bank,
+        chunk classification -- is backend-agnostic.
+        """
+        return BatchSimulator(self.target.netlist, self.lanes)
 
     def _record_golden(self) -> None:
         sim = self.sim

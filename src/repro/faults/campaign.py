@@ -377,16 +377,44 @@ def _make_harness(
     lanes: int,
     degrade: bool,
     metrics: Optional["MetricsRegistry"],
+    backend: str = "batch",
+    cache: Optional[str] = None,
 ):
-    """The chunk-classifying harness for one (target, lanes) combination."""
-    if lanes > 1:
+    """The chunk-classifying harness for one (target, lanes, backend).
+
+    ``backend="compiled"`` swaps the lane-parallel engine for the
+    codegen backend (:class:`repro.codegen.harness.CompiledCampaignHarness`,
+    used even at ``lanes=1``); ``cache`` is its build-cache directory
+    (``None`` for the default).  The scalar engine stays the semantic
+    reference for the degradation ladder either way.
+    """
+    if backend not in ("batch", "compiled"):
+        raise ValueError(
+            f"unknown backend {backend!r}; pick 'batch' or 'compiled'"
+        )
+    if lanes > 1 or backend == "compiled":
+        if backend == "compiled":
+            from repro.codegen.harness import CompiledCampaignHarness
+
+            def factory():
+                return CompiledCampaignHarness(
+                    tgt, config, lanes, metrics=metrics, cache=cache
+                )
+        else:
+            from repro.faults.batch import BatchCampaignHarness
+
+            def factory():
+                return BatchCampaignHarness(
+                    tgt, config, lanes, metrics=metrics
+                )
+
         if degrade:
             from repro.resilience.degrade import DegradingCampaignHarness
 
-            return DegradingCampaignHarness(tgt, config, lanes, metrics=metrics)
-        from repro.faults.batch import BatchCampaignHarness
-
-        return BatchCampaignHarness(tgt, config, lanes, metrics=metrics)
+            return DegradingCampaignHarness(
+                tgt, config, lanes, metrics=metrics, batch_factory=factory
+            )
+        return factory()
     return CampaignHarness(tgt, config)
 
 
@@ -395,14 +423,19 @@ def _chunk_worker(
     config: CampaignConfig,
     lanes: int,
     degrade: bool,
+    backend: str = "batch",
+    cache: Optional[str] = None,
 ) -> Callable[[List[Injection]], List[FaultOutcome]]:
     """Worker-process initialiser for the shard supervisor.
 
     Top-level so :mod:`multiprocessing` can pickle it; each worker
     builds its harness (and golden run) once and serves chunks with it.
+    ``cache`` travels as a plain directory string for the same reason;
+    workers sharing a warm cache directory all hit the same artifact.
     """
     tgt = resolve_target(spec)
-    return _make_harness(tgt, config, lanes, degrade, None).run_chunk
+    harness = _make_harness(tgt, config, lanes, degrade, None, backend, cache)
+    return harness.run_chunk
 
 
 def _campaign_fingerprint(
@@ -464,6 +497,8 @@ def run_campaign(
     max_retries: int = 2,
     degrade: bool = True,
     degradation: bool = False,
+    backend: str = "batch",
+    cache: Optional[str] = None,
 ) -> CampaignReport:
     """Sweep every enumerated fault over ``target``.
 
@@ -501,6 +536,15 @@ def run_campaign(
     byte-identical to the goldens.  Per-lane attribution lives in the
     coordinating process, so with ``jobs > 1`` the summary covers shard
     retries only.
+
+    ``backend`` selects the lane-parallel engine: ``"batch"`` (the
+    default) runs :class:`~repro.faults.batch.BatchCampaignHarness`,
+    ``"compiled"`` the codegen backend with its on-disk build cache
+    (``cache`` names the cache directory, shipped to workers as a plain
+    string; ``None`` uses the default directory).  Reports are
+    byte-identical across backends, and the checkpoint fingerprint
+    deliberately excludes the backend so a campaign interrupted on one
+    can resume on the other.
     """
     cfg = config or CampaignConfig()
     if lanes < 1:
@@ -551,7 +595,7 @@ def run_campaign(
     if jobs > 1 and len(pending) > 1:
         supervisor = ShardSupervisor(
             _chunk_worker,
-            (spec, cfg, lanes, degrade),
+            (spec, cfg, lanes, degrade, backend, cache),
             pending,
             config=SupervisorConfig(
                 jobs=jobs, shard_timeout=shard_timeout,
@@ -562,7 +606,9 @@ def run_campaign(
         )
         supervisor.run()
     elif pending:
-        harness = _make_harness(tgt, cfg, lanes, degrade, metrics)
+        harness = _make_harness(
+            tgt, cfg, lanes, degrade, metrics, backend, cache
+        )
         for index, chunk in pending:
             record(index, harness.run_chunk(chunk))
 

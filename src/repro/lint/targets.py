@@ -14,21 +14,87 @@ registry spans all three front-ends:
   smoke targets (CI asserts they exit nonzero).
 
 Builders are lazy: nothing is elaborated until a target is linted.
+
+Every builder accepts an optional
+:class:`~repro.codegen.cache.BuildCache`: netlist-level findings are
+cached as JSON artifacts keyed by the netlist's content fingerprint
+plus :data:`LINT_RULES_VERSION`, so a repeated ``repro lint`` run skips
+re-evaluating the ``LNT0xx`` rules for unchanged designs.  Honest
+limitation: elaboration itself (building the netlist from the spec or
+target registry) still runs -- the fingerprint that keys the cache
+*is* the elaborated netlist, so there is nothing sound to key an
+elaboration skip on.  Spec- and network-level rules
+(``lint_spec``/``lint_network``) are not netlist-keyed and are always
+evaluated.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.lint.elastic_rules import lint_network, lint_spec
 from repro.lint.findings import Finding, LintReport
 from repro.lint.netlist_rules import lint_netlist
 
-__all__ = ["LINT_TARGETS", "all_targets", "run_lint"]
+__all__ = [
+    "LINT_RULES_VERSION",
+    "LINT_TARGETS",
+    "all_targets",
+    "run_lint",
+]
+
+#: Bump when any ``LNT0xx`` rule changes behaviour; cached findings for
+#: every netlist are invalidated (their cache key changes).
+LINT_RULES_VERSION = 1
 
 
-def _fig9(config_name: str) -> Callable[[], List[Finding]]:
-    def build() -> List[Finding]:
+def _lint_key(netlist) -> str:
+    """The findings-cache key of one netlist at the current rules."""
+    from repro.codegen.fingerprint import netlist_fingerprint
+
+    blob = json.dumps({
+        "kind": "lint-findings",
+        "rules_version": LINT_RULES_VERSION,
+        "netlist": netlist_fingerprint(netlist),
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _finding_from_dict(d: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=d["rule"],
+        target=d["target"],
+        subject=d["subject"],
+        message=d["message"],
+        path=tuple(d.get("path", ())),
+    )
+
+
+def _cached_lint_netlist(netlist, cache) -> List[Finding]:
+    """``lint_netlist`` through the findings cache (when one is given)."""
+    if cache is None:
+        return lint_netlist(netlist)
+    key = _lint_key(netlist)
+    payload = cache.load_json(key)
+    if isinstance(payload, list):
+        return [_finding_from_dict(d) for d in payload]
+    findings = lint_netlist(netlist)
+    cache.store_json(
+        key,
+        [f.to_dict() for f in findings],
+        meta={
+            "kind": "lint-findings",
+            "rules_version": LINT_RULES_VERSION,
+            "netlist": netlist.name,
+        },
+    )
+    return findings
+
+
+def _fig9(config_name: str) -> Callable[..., List[Finding]]:
+    def build(cache=None) -> List[Finding]:
         from repro.casestudy.fig9 import Config, build_fig9_spec
         from repro.synthesis.elaborate import to_behavioral, to_gates
 
@@ -36,41 +102,42 @@ def _fig9(config_name: str) -> Callable[[], List[Finding]]:
         findings = lint_spec(spec)
         if not any(f.severity.name == "ERROR" for f in findings):
             findings += lint_network(to_behavioral(spec))
-            findings += lint_netlist(
-                to_gates(spec, include_env=True, as_latches=True).netlist
+            findings += _cached_lint_netlist(
+                to_gates(spec, include_env=True, as_latches=True).netlist,
+                cache,
             )
         return findings
 
     return build
 
 
-def _verif(design: str) -> Callable[[], List[Finding]]:
-    def build() -> List[Finding]:
+def _verif(design: str) -> Callable[..., List[Finding]]:
+    def build(cache=None) -> List[Finding]:
         from repro.verif.testbenches import DESIGNS, diamond_with_feedback
 
         nl, _, _ = diamond_with_feedback(**DESIGNS[design])
-        return lint_netlist(nl)
+        return _cached_lint_netlist(nl, cache)
 
     return build
 
 
-def _rtl(name: str) -> Callable[[], List[Finding]]:
-    def build() -> List[Finding]:
+def _rtl(name: str) -> Callable[..., List[Finding]]:
+    def build(cache=None) -> List[Finding]:
         from repro.faults.targets import TARGETS
 
-        return lint_netlist(TARGETS[name]().netlist)
+        return _cached_lint_netlist(TARGETS[name]().netlist, cache)
 
     return build
 
 
-def _processor() -> List[Finding]:
+def _processor(cache=None) -> List[Finding]:
     from repro.casestudy.processor import ProcessorConfig, build_processor
 
     net, _, _ = build_processor(ProcessorConfig())
     return lint_network(net)
 
 
-def _zoo_capacity1() -> List[Finding]:
+def _zoo_capacity1(cache=None) -> List[Finding]:
     """A capacity-1 register loop holding one token: full, bubble-free."""
     from repro.synthesis.spec import SystemSpec
 
@@ -86,7 +153,7 @@ def _zoo_capacity1() -> List[Finding]:
     return lint_spec(spec)
 
 
-def _zoo_comb_cycle() -> List[Finding]:
+def _zoo_comb_cycle(cache=None) -> List[Finding]:
     """A two-gate combinational loop (the classic LNT005 defect)."""
     from repro.rtl.netlist import Netlist
 
@@ -95,10 +162,10 @@ def _zoo_comb_cycle() -> List[Finding]:
     nl.add_gate("AND", (a, "y"), out="x")
     nl.add_gate("BUF", ("x",), out="y")
     nl.add_output("y")
-    return lint_netlist(nl)
+    return _cached_lint_netlist(nl, cache)
 
 
-LINT_TARGETS: Dict[str, Callable[[], List[Finding]]] = {
+LINT_TARGETS: Dict[str, Callable[..., List[Finding]]] = {
     "fig9:active": _fig9("ACTIVE"),
     "fig9:no_buffer": _fig9("NO_BUFFER"),
     "fig9:passive_f3w": _fig9("PASSIVE_F3W"),
@@ -128,8 +195,14 @@ def all_targets(include_zoo: bool = False) -> List[str]:
     ]
 
 
-def run_lint(targets: Sequence[str]) -> LintReport:
-    """Lint the named targets into one report."""
+def run_lint(targets: Sequence[str], cache=None) -> LintReport:
+    """Lint the named targets into one report.
+
+    ``cache`` is an optional :class:`~repro.codegen.cache.BuildCache`;
+    netlist-level findings for unchanged designs are then served from
+    their fingerprint-keyed artifacts instead of re-running the rules.
+    ``None`` (the default) keeps the fully uncached library behaviour.
+    """
     report = LintReport()
     for name in targets:
         try:
@@ -139,5 +212,5 @@ def run_lint(targets: Sequence[str]) -> LintReport:
                 f"unknown lint target {name!r}; pick from "
                 f"{', '.join(sorted(LINT_TARGETS))}"
             ) from None
-        report.extend(builder())
+        report.extend(builder(cache))
     return report

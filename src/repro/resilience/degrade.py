@@ -74,6 +74,14 @@ class DegradingCampaignHarness:
     -> int`` returning a bitmask of extra lanes to quarantine after a
     successful batch run (the attachment point for crosschecks that
     compare the batch monitors against an independent reference).
+
+    ``batch_factory`` is an optional zero-arg callable building the
+    lane-parallel harness; the default builds a
+    :class:`~repro.faults.batch.BatchCampaignHarness`, and the campaign
+    driver passes a compiled-backend factory here when
+    ``backend="compiled"`` is selected.  Whatever the factory raises at
+    build time is subject to the same permanent-scalar degradation as a
+    batch compile failure.
     """
 
     def __init__(
@@ -83,12 +91,14 @@ class DegradingCampaignHarness:
         lanes: int = 64,
         metrics: Optional["MetricsRegistry"] = None,
         quarantine_hook: Optional[Callable[..., int]] = None,
+        batch_factory: Optional[Callable[[], object]] = None,
     ) -> None:
         self.target = target
         self.config = config
         self.lanes = lanes
         self.metrics = metrics
         self.quarantine_hook = quarantine_hook
+        self.batch_factory = batch_factory
         #: total lanes replayed on the scalar engine so far
         self.quarantined_total = 0
         self._batch = None
@@ -98,13 +108,18 @@ class DegradingCampaignHarness:
     # -- lazy engines --------------------------------------------------
     def _batch_harness(self):
         if self._batch is None and not self._permanent_scalar:
-            from repro.faults.batch import BatchCampaignHarness
+            factory = self.batch_factory
+            if factory is None:
+                from repro.faults.batch import BatchCampaignHarness
+
+                def factory():
+                    return BatchCampaignHarness(
+                        self.target, self.config, self.lanes,
+                        metrics=self.metrics,
+                    )
 
             try:
-                self._batch = BatchCampaignHarness(
-                    self.target, self.config, self.lanes,
-                    metrics=self.metrics,
-                )
+                self._batch = factory()
             except CombinationalCycleError:
                 self._degrade_permanently("compile")
         return self._batch

@@ -47,9 +47,9 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.codegen import kernel as _kernel
 from repro.rtl.logic import Value, X, is_known
 from repro.rtl.netlist import Netlist, Phase
-from repro.rtl.toposort import topo_order
 
 __all__ = [
     "BatchSimulator",
@@ -64,15 +64,16 @@ __all__ = [
 #: The two-plane word pair ``(v, k)`` for one signal across all lanes.
 Planes = Tuple[int, int]
 
-# Instruction opcodes (binary ops only; variadic gates are decomposed).
-_AND, _OR, _NOT, _XOR, _MUX, _BUF, _C0, _C1 = range(8)
+# Instruction opcodes, shared with the on-disk code generator: the
+# decomposition, phase ordering and per-gate statement strings all live
+# in repro.codegen.kernel, so the batch kernel and the compiled backend
+# lower a netlist through literally the same pipeline.
+_AND, _OR, _NOT, _XOR, _MUX, _BUF, _C0, _C1 = (
+    _kernel.AND, _kernel.OR, _kernel.NOT, _kernel.XOR,
+    _kernel.MUX, _kernel.BUF, _kernel.C0, _kernel.C1,
+)
 
-_DECOMPOSED = {
-    "AND": (_AND, False),
-    "OR": (_OR, False),
-    "NAND": (_AND, True),
-    "NOR": (_OR, True),
-}
+_DECOMPOSED = _kernel.DECOMPOSED
 
 
 def broadcast(value: Value, lanes: int = 64) -> Planes:
@@ -245,72 +246,17 @@ class BatchSimulator:
 
     # -- compilation ---------------------------------------------------
     def _decompose_gates(self) -> Dict[str, Tuple[Tuple[int, ...], ...]]:
-        """Binary instruction templates, one tuple per gate output.
-
-        Variadic AND/OR/NAND/NOR become chains through fresh temporary
-        slots; the final instruction of each template writes the gate's
-        named slot (the only slot overrides apply to).
-        """
-        self._ntemp = len(self._slot)
-        templates: Dict[str, Tuple[Tuple[int, ...], ...]] = {}
-        for out, gate in self.netlist.gates.items():
-            dst = self._slot[out]
-            ins = [self._slot[i] for i in gate.ins]
-            op = gate.op
-            instrs: List[Tuple[int, ...]] = []
-            if op in _DECOMPOSED:
-                code, invert = _DECOMPOSED[op]
-                if not ins:
-                    # Zero-input AND()/OR() reduce to their identity
-                    # element, exactly like land()/lor() with no args.
-                    const = _C1 if code == _AND else _C0
-                    if invert:
-                        const = _C0 if const == _C1 else _C1
-                    instrs.append((const, dst, 0, 0, 0))
-                else:
-                    acc = ins[0]
-                    for nxt in ins[1:]:
-                        tmp = self._ntemp
-                        self._ntemp += 1
-                        instrs.append((code, tmp, acc, nxt, 0))
-                        acc = tmp
-                    if invert:
-                        instrs.append((_NOT, dst, acc, 0, 0))
-                    elif acc == dst:  # pragma: no cover - ins never empty
-                        pass
-                    else:
-                        instrs.append((_BUF, dst, acc, 0, 0))
-            elif op == "NOT":
-                instrs.append((_NOT, dst, ins[0], 0, 0))
-            elif op == "BUF":
-                instrs.append((_BUF, dst, ins[0], 0, 0))
-            elif op == "XOR":
-                instrs.append((_XOR, dst, ins[0], ins[1], 0))
-            elif op == "MUX":
-                instrs.append((_MUX, dst, ins[0], ins[1], ins[2]))
-            elif op == "CONST0":
-                instrs.append((_C0, dst, 0, 0, 0))
-            elif op == "CONST1":
-                instrs.append((_C1, dst, 0, 0, 0))
-            else:  # pragma: no cover - netlist validates ops
-                raise AssertionError(f"unhandled op {op}")
-            templates[out] = tuple(instrs)
+        """Binary instruction templates via the shared codegen kernel."""
+        templates, self._ntemp = _kernel.decompose_gates(
+            self.netlist, self._slot, self._n_named
+        )
         return templates
 
     def _compile(self, phase: Phase) -> Tuple[Tuple[int, ...], ...]:
         """One phase as a flat topologically-sorted instruction list."""
-        program: List[Tuple[int, ...]] = []
-        latches = self.netlist.latches
-        for node in topo_order(self.netlist, phase):
-            template = self._templates.get(node)
-            if template is not None:
-                program.extend(template)
-            else:
-                latch = latches[node]
-                program.append(
-                    (_BUF, self._slot[node], self._slot[latch.d], 0, 0)
-                )
-        return tuple(program)
+        return _kernel.phase_program(
+            self.netlist, self._slot, self._templates, phase
+        )
 
     # -- state ---------------------------------------------------------
     def reset(self) -> None:
@@ -360,47 +306,11 @@ class BatchSimulator:
         written: set = set()
         sources: List[int] = []
 
-        def rd(slot: int) -> None:
-            if slot not in written and slot not in sources:
-                sources.append(slot)
-
         for op, out, a, b, c in program:
-            if op == _AND:
-                rd(a), rd(b)
-                body.append(f"v{out}=v{a}&v{b}")
-                body.append(f"k{out}=v{out}|(k{a}&~v{a})|(k{b}&~v{b})")
-            elif op == _OR:
-                rd(a), rd(b)
-                body.append(f"v{out}=v{a}|v{b}")
-                body.append(f"k{out}=v{out}|(k{a}&~v{a})&(k{b}&~v{b})")
-            elif op == _NOT:
-                rd(a)
-                body.append(f"k{out}=k{a}")
-                body.append(f"v{out}=k{a}&~v{a}")
-            elif op == _BUF:
-                rd(a)
-                body.append(f"v{out}=v{a}")
-                body.append(f"k{out}=k{a}")
-            elif op == _XOR:
-                rd(a), rd(b)
-                body.append(f"k{out}=k{a}&k{b}")
-                body.append(f"v{out}=(v{a}^v{b})&k{out}")
-            elif op == _MUX:
-                rd(a), rd(b), rd(c)
-                body.append(f"_s0=k{a}&~v{a}")
-                body.append(f"_sx=mask^k{a}")
-                body.append(f"_g1=v{b}&v{c}")
-                body.append(f"_g0=(k{b}&~v{b})&(k{c}&~v{c})")
-                body.append(f"v{out}=(v{a}&v{b})|(_s0&v{c})|(_sx&_g1)")
-                body.append(
-                    f"k{out}=(v{a}&k{b})|(_s0&k{c})|(_sx&(_g1|_g0))"
-                )
-            elif op == _C0:
-                body.append(f"v{out}=0")
-                body.append(f"k{out}=mask")
-            else:  # _C1
-                body.append(f"v{out}=mask")
-                body.append(f"k{out}=mask")
+            for slot in _kernel.instr_reads(op, a, b, c):
+                if slot not in written and slot not in sources:
+                    sources.append(slot)
+            body.extend(_kernel.two_plane_lines(op, out, a, b, c))
             if out < self._n_named:
                 body.append(f"_o=ov[{out}]")
                 body.append(

@@ -212,6 +212,8 @@ def batched_error_sweep(
     error_wires: Sequence[str],
     seeds: Sequence[int],
     cycles: int = 256,
+    backend: str = "batch",
+    cache=None,
 ) -> Optional[Tuple[int, int, str]]:
     """Random-stimulus hunt for ``error``, all seeds word-parallel.
 
@@ -220,13 +222,31 @@ def batched_error_sweep(
     the first failure ordered by (cycle, wire order, seed order) -- the
     same failure every run regardless of batching -- or ``None`` if no
     seed raises any error wire within ``cycles``.
+
+    ``backend="compiled"`` runs the codegen backend restricted to the
+    error wires (``cache`` names its build-cache directory); results
+    are identical, and repeated sweeps of the same netlist skip the
+    per-batch kernel compile entirely.
     """
+    if backend not in ("batch", "compiled"):
+        raise ValueError(
+            f"unknown backend {backend!r}; pick 'batch' or 'compiled'"
+        )
     seeds = list(seeds)
     error_wires = list(error_wires)
     best: Optional[Tuple[int, int, int]] = None
     for base in range(0, len(seeds), 64):
         chunk = seeds[base:base + 64]
-        sim = BatchSimulator(netlist, lanes=len(chunk))
+        if backend == "compiled":
+            from repro.codegen.sim import CompiledSimulator
+
+            sim = CompiledSimulator(
+                netlist, lanes=len(chunk),
+                hooks=frozenset(), observe=frozenset(error_wires),
+                cache=cache,
+            )
+        else:
+            sim = BatchSimulator(netlist, lanes=len(chunk))
         packed = pack_stimulus(
             [_sweep_stimulus(netlist, s, cycles) for s in chunk]
         )

@@ -1,0 +1,182 @@
+"""The build cache: keys, tiers, counters, invalidation, maintenance."""
+
+import json
+
+import pytest
+
+from repro.codegen.cache import (
+    BuildCache,
+    build_cache,
+    process_stats,
+    reset_process_stats,
+)
+from repro.codegen.fingerprint import (
+    CODEGEN_VERSION,
+    artifact_key,
+    netlist_fingerprint,
+)
+from repro.obs import MetricsRegistry
+from repro.rtl.netlist import Netlist
+
+
+def _small_netlist(flavor=0):
+    nl = Netlist(f"cachetest{flavor}")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    if flavor:
+        nl.add_gate("OR", (a, b), out="y")
+    else:
+        nl.add_gate("AND", (a, b), out="y")
+    nl.add_flop("y", q="q", init=0)
+    nl.add_output("q")
+    nl.validate()
+    return nl
+
+
+def test_fingerprint_and_key_stability():
+    nl = _small_netlist()
+    assert netlist_fingerprint(nl) == netlist_fingerprint(_small_netlist())
+    assert netlist_fingerprint(nl) != netlist_fingerprint(_small_netlist(1))
+    base = artifact_key(nl)
+    assert base == artifact_key(_small_netlist())
+    # hooks and observe restrictions each produce distinct artifacts
+    assert artifact_key(nl, hooks=frozenset(["y"])) != base
+    assert artifact_key(nl, observe=frozenset(["q"])) != base
+    assert artifact_key(nl, hooks=frozenset(["y"])) != artifact_key(
+        nl, observe=frozenset(["y"])
+    )
+
+
+def test_cache_tiers_and_counters(tmp_path):
+    nl = _small_netlist()
+    registry = MetricsRegistry()
+    cache = BuildCache(tmp_path / "c", metrics=registry)
+    reset_process_stats()
+
+    m1 = cache.load_module(nl)  # cold: disk miss, emit, import
+    assert process_stats() == {"hits": 0, "misses": 1}
+    m2 = cache.load_module(nl)  # memory hit, same object
+    assert m2 is m1
+    assert process_stats() == {"hits": 1, "misses": 1}
+
+    other = BuildCache(tmp_path / "c")  # fresh instance: disk hit
+    m3 = other.load_module(nl)
+    assert m3 is not m1 and m3.KEY == m1.KEY
+    assert process_stats() == {"hits": 2, "misses": 1}
+
+    hits = {
+        c.labels: c.value
+        for c in registry.series("codegen_cache_hits_total")
+    }
+    assert hits == {(("kind", "module"), ("tier", "memory")): 1}
+    misses = {
+        c.labels: c.value
+        for c in registry.series("codegen_cache_misses_total")
+    }
+    assert misses == {(("kind", "module"), ("tier", "disk")): 1}
+
+
+def test_meta_version_mismatch_invalidates(tmp_path):
+    nl = _small_netlist()
+    cache = BuildCache(tmp_path / "c")
+    module = cache.load_module(nl)
+    key = module.KEY
+    meta_path = tmp_path / "c" / key / BuildCache.META
+    meta = json.loads(meta_path.read_text())
+    meta["codegen_version"] = CODEGEN_VERSION + 1
+    meta_path.write_text(json.dumps(meta))
+
+    fresh = BuildCache(tmp_path / "c")
+    reset_process_stats()
+    rebuilt = fresh.load_module(nl)  # stale version -> miss + rebuild
+    assert process_stats()["misses"] == 1
+    assert rebuilt.KEY == key
+    assert (json.loads(meta_path.read_text())["codegen_version"]
+            == CODEGEN_VERSION)
+
+
+def test_torn_module_invalidates(tmp_path):
+    nl = _small_netlist()
+    cache = BuildCache(tmp_path / "c")
+    key = cache.load_module(nl).KEY
+    module_path = tmp_path / "c" / key / BuildCache.MODULE
+    module_path.write_text("def broken(:\n")  # torn/hand-mangled source
+
+    fresh = BuildCache(tmp_path / "c")
+    reset_process_stats()
+    module = fresh.load_module(nl)
+    assert process_stats()["misses"] == 1
+    assert module.KEY == key
+    assert "def broken" not in module_path.read_text()
+
+
+def test_json_artifacts_round_trip(tmp_path):
+    cache = BuildCache(tmp_path / "c")
+    assert cache.load_json("deadbeef") is None
+    payload = [{"rule": "LNT001", "n": 3}]
+    cache.store_json("deadbeef", payload, meta={"kind": "test"})
+    assert cache.load_json("deadbeef") == payload
+    assert BuildCache(tmp_path / "c").load_json("deadbeef") == payload
+
+
+def test_stats_and_clear(tmp_path):
+    cache = BuildCache(tmp_path / "c")
+    cache.load_module(_small_netlist())
+    cache.load_module(_small_netlist(1))
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["bytes"] > 0
+    assert cache.clear() == 2
+    assert cache.stats()["entries"] == 0
+    # cleared memory tier too: the next load rebuilds from nothing
+    reset_process_stats()
+    cache.load_module(_small_netlist())
+    assert process_stats() == {"hits": 0, "misses": 1}
+
+
+def test_build_cache_shares_instances(tmp_path):
+    a = build_cache(tmp_path / "shared")
+    b = build_cache(tmp_path / "shared")
+    assert a is b
+    registry = MetricsRegistry()
+    c = build_cache(tmp_path / "shared", metrics=registry)
+    assert c is a and a.metrics is registry
+
+
+def test_lint_findings_cache(tmp_path):
+    from repro.lint.targets import all_targets, run_lint
+
+    cache = BuildCache(tmp_path / "c")
+    plain = run_lint(["rtl:dual_ehb", "zoo:comb_cycle"])
+    cold = run_lint(["rtl:dual_ehb", "zoo:comb_cycle"], cache=cache)
+    reset_process_stats()
+    warm = run_lint(["rtl:dual_ehb", "zoo:comb_cycle"],
+                    cache=BuildCache(tmp_path / "c"))
+    stats = process_stats()
+    assert stats["hits"] == 2 and stats["misses"] == 0
+
+    def key(report):
+        return [(f.fingerprint, f.message, f.severity, f.path)
+                for f in report.findings]
+
+    assert key(plain) == key(cold) == key(warm)
+    assert all_targets() == sorted(
+        t for t in all_targets(include_zoo=True) if not t.startswith("zoo:")
+    )
+
+
+def test_compiled_simulator_accepts_cache_path(tmp_path):
+    from repro.codegen.sim import CompiledSimulator
+
+    nl = _small_netlist()
+    sim = CompiledSimulator(nl, 4, cache=str(tmp_path / "c"))
+    sim.cycle({"a": (0b1010, 0b1111), "b": (0b0110, 0b1111)})
+    assert sim.planes("y") == (0b0010, 0b1111)
+    assert (tmp_path / "c" / sim.key / "module.py").is_file()
+
+
+def test_unknown_plane_kind_rejected():
+    with pytest.raises(ValueError, match="plane_kind"):
+        from repro.codegen.sim import CompiledSimulator
+
+        CompiledSimulator(_small_netlist(), 4, plane_kind="torch")

@@ -1,0 +1,211 @@
+"""Differential testing: CompiledSimulator vs batch vs scalar.
+
+Hypothesis reuses the random-netlist/stimulus/fault generators of the
+batch differential suite and adds the compiled backend to the
+comparison, in both plane representations and past the 64-lane word
+boundary.  The contract under test is byte-level: a compiled module's
+end-of-cycle planes must equal the interpreted batch kernel's planes
+exactly, for every signal, every cycle, with X stimulus and per-lane
+faults live.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.sim import CompiledSimulator
+from repro.rtl.batchsim import BatchSimulator, pack_stimulus
+from repro.rtl.simulator import TwoPhaseSimulator
+from tests.rtl.test_batchsim_differential import (
+    CYCLES,
+    LANES,
+    _batch_overrides,
+    _scalar_overrides,
+    build_random_netlist,
+    random_injections,
+    random_stimulus,
+)
+
+
+def _widen(per_lane, lanes):
+    """Extend 64 per-lane sequences to ``lanes`` by cyclic repetition."""
+    return [per_lane[i % len(per_lane)] for i in range(lanes)]
+
+
+def _assert_planes_match(nl, batch, compiled, ctx):
+    bv, bk = batch.value_planes, batch.known_planes
+    for sig in sorted(nl.signals()):
+        want = (bv[batch.slot(sig)], bk[batch.slot(sig)])
+        assert compiled.planes(sig) == want, (
+            f"{ctx} sig={sig} compiled={compiled.planes(sig)} batch={want}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_compiled_matches_batch_and_scalar(seed):
+    """64 lanes: compiled (int and numpy planes) == batch == scalar."""
+    rng = random.Random(seed)
+    nl = build_random_netlist(rng)
+    stimuli = random_stimulus(rng, nl)
+    injections = random_injections(rng, nl)
+    sites = frozenset(nl.signals())
+
+    batch = BatchSimulator(nl, lanes=LANES)
+    sims = [
+        CompiledSimulator(nl, LANES, hooks=sites, observe=sites),
+        CompiledSimulator(nl, LANES, hooks=sites, observe=sites,
+                          plane_kind="numpy"),
+    ]
+    scalar = TwoPhaseSimulator(nl)
+    spot = 0  # scalar replays exactly one lane; batch vs scalar is
+    # already covered exhaustively by the batch differential suite.
+
+    for t, packed in enumerate(pack_stimulus(stimuli)):
+        overrides = _batch_overrides(injections, t)
+        batch.set_overrides(overrides)
+        batch.cycle(packed)
+        for sim in sims:
+            sim.set_overrides(overrides)
+            sim.cycle(packed)
+            _assert_planes_match(nl, batch, sim,
+                                 f"seed={seed} t={t} rep={sim.plane_kind}")
+            assert sim.check_lane_integrity() == 0
+        scalar.overrides = _scalar_overrides(injections[spot], t)
+        values = scalar.cycle(stimuli[spot][t])
+        for sig in sorted(nl.signals()):
+            for sim in sims:
+                assert sim.lane_value(sig, spot) == values[sig], (
+                    f"seed={seed} t={t} sig={sig} rep={sim.plane_kind}"
+                )
+    for lane in (0, LANES // 2, LANES - 1):
+        want = batch.lane_state(lane)
+        for sim in sims:
+            assert sim.lane_state(lane) == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_wide_lanes_match_batch(seed):
+    """96 lanes (past one machine word): compiled == batch, both reps."""
+    lanes = 96
+    rng = random.Random(seed)
+    nl = build_random_netlist(rng)
+    stimuli = _widen(random_stimulus(rng, nl), lanes)
+    injections = _widen(random_injections(rng, nl), lanes)
+    sites = frozenset(nl.signals())
+
+    batch = BatchSimulator(nl, lanes=lanes)
+    sims = [
+        CompiledSimulator(nl, lanes, hooks=sites, observe=sites),
+        CompiledSimulator(nl, lanes, hooks=sites, observe=sites,
+                          plane_kind="numpy"),
+    ]
+    for t, packed in enumerate(pack_stimulus(stimuli)):
+        overrides = _batch_overrides(injections, t)
+        batch.set_overrides(overrides)
+        batch.cycle(packed)
+        for sim in sims:
+            sim.set_overrides(overrides)
+            sim.cycle(packed)
+            _assert_planes_match(nl, batch, sim,
+                                 f"seed={seed} t={t} rep={sim.plane_kind}")
+    # spot-check the high lanes against their own scalar replays
+    for lane in (0, 64, 65, lanes - 1):
+        scalar = TwoPhaseSimulator(nl)
+        for t in range(CYCLES):
+            scalar.overrides = _scalar_overrides(injections[lane], t)
+            values = scalar.cycle(stimuli[lane][t])
+        for sig in sorted(nl.signals()):
+            for sim in sims:
+                assert sim.lane_value(sig, lane) == values[sig], (
+                    f"seed={seed} lane={lane} sig={sig}"
+                )
+        for sim in sims:
+            assert sim.lane_state(lane) == scalar.state
+
+
+def _all_known_stimulus(target, lanes, cycles):
+    rngs = [random.Random(f"lane:{lane}") for lane in range(lanes)]
+    return [
+        [
+            {name: rng.getrandbits(1) for name in target.free_inputs}
+            for _ in range(cycles)
+        ]
+        for rng in rngs
+    ]
+
+
+def test_known_dialect_runs_and_matches():
+    """All-known stimulus keeps the value-plane-only kernel active."""
+    from repro.faults.targets import TARGETS
+
+    target = TARGETS["dual_ehb"]()
+    nl = target.netlist
+    stimuli = _all_known_stimulus(target, LANES, 60)
+    batch = BatchSimulator(nl, lanes=LANES)
+    sites = frozenset(nl.signals())
+    sim = CompiledSimulator(nl, LANES, hooks=sites, observe=sites)
+    assert sim.module.KNOWN_OK
+    for packed in pack_stimulus(stimuli):
+        batch.cycle(packed)
+        sim.cycle(packed)
+        _assert_planes_match(nl, batch, sim, "known")
+    assert sim._known_active, "known dialect should have stayed active"
+
+
+def test_known_dialect_falls_back_on_x():
+    """One X input permanently drops to the two-plane kernel."""
+    from repro.faults.targets import TARGETS
+    from repro.rtl.logic import X
+
+    target = TARGETS["dual_ehb"]()
+    nl = target.netlist
+    stimuli = _all_known_stimulus(target, LANES, 30)
+    first = next(iter(target.free_inputs))
+    stimuli[7][10] = dict(stimuli[7][10], **{first: X})
+    batch = BatchSimulator(nl, lanes=LANES)
+    sites = frozenset(nl.signals())
+    sim = CompiledSimulator(nl, LANES, hooks=sites, observe=sites)
+    for packed in pack_stimulus(stimuli):
+        batch.cycle(packed)
+        sim.cycle(packed)
+        _assert_planes_match(nl, batch, sim, "fallback")
+    assert not sim._known_active
+    sim.reset()
+    assert sim._known_active, "reset() must re-arm the known dialect"
+
+
+def test_non_hook_override_rejected():
+    from repro.faults.targets import TARGETS
+    from repro.rtl.batchsim import LaneOverride
+
+    target = TARGETS["dual_ehb"]()
+    sim = CompiledSimulator(
+        target.netlist, 8,
+        hooks=frozenset(), observe=frozenset(target.observe),
+    )
+    wire = target.fault_sites[0]
+    with pytest.raises(ValueError, match="not a hook"):
+        sim.set_overrides({wire: LaneOverride(set1=1)})
+    with pytest.raises(ValueError, match="unknown net"):
+        sim.set_overrides({"no.such.net": LaneOverride(set1=1)})
+
+
+def test_unobserved_signal_rejected():
+    from repro.faults.targets import TARGETS
+
+    target = TARGETS["dual_ehb"]()
+    observed = sorted(target.observe)[:2]
+    sim = CompiledSimulator(
+        target.netlist, 8,
+        hooks=frozenset(), observe=frozenset(observed),
+    )
+    sim.cycle({})
+    assert sim.planes(observed[0]) is not None
+    hidden = next(
+        s for s in sorted(target.observe) if s not in observed
+    )
+    with pytest.raises(ValueError, match="not observed"):
+        sim.planes(hidden)

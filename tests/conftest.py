@@ -1,0 +1,14 @@
+"""Shared fixtures: keep the codegen build cache out of ``~/.cache``.
+
+Every test gets a private ``REPRO_CACHE_DIR`` under its tmp dir, so
+tests exercising the compiled backend (or the CLI defaults) never read
+or pollute the developer's real cache, and never see each other's
+artifacts.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_build_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "codegen-cache"))

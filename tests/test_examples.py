@@ -58,3 +58,9 @@ def test_fig9_case_study(capsys):
 def test_kill_and_resume(capsys):
     out = _run("kill_and_resume.py", capsys)
     assert "matches the uninterrupted run byte-for-byte" in out
+
+
+def test_build_cache_demo(capsys):
+    out = _run("build_cache_demo.py", capsys)
+    assert "byte-identical" in out
+    assert "zero codegen" in out
