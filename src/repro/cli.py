@@ -5,7 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro table1   [--cycles 10000] [--seed 2007]
     python -m repro simulate --config active [--cycles 5000] [--seed 0]
     python -m repro verify   [--design diamond|early|vl]
-                             [--checkpoint dir]
+                             [--checkpoint dir] [--cache dir] [--no-cache]
     python -m repro export   --format verilog|blif|smv|dot
                              [--config active] [-o out.v]
     python -m repro bound    [--config lazy]
@@ -25,6 +25,9 @@ Usage (after ``pip install -e .``)::
     python -m repro trace    [--config active|...|pipeline] [--cycles 64]
                              [--vcd out.vcd] [--events out.jsonl]
     python -m repro stats    [--config active] [--cycles 5000] [--seed 0]
+    python -m repro fuzz     [--seed 7] [--specs 100] [--max-blocks 48]
+                             [--budget 60] [--corpus dir] [--mutate name]
+                             [--replay dir] [--json out.json]
 
 mirroring the paper's framework, which generated simulation, synthesis
 and verification models of the same controllers from one description.
@@ -74,10 +77,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro.verif.testbenches import DESIGNS, diamond_with_feedback
 
     nl, chans, fairness = diamond_with_feedback(**DESIGNS[args.design])
+    cache = None
+    if not args.no_cache:
+        from repro.codegen import build_cache
+
+        cache = build_cache(args.cache)
     try:
         result = verify_netlist(
             nl, chans, fairness=fairness, max_states=2_000_000,
-            checkpoint=args.checkpoint,
+            checkpoint=args.checkpoint, cache=cache,
         )
     except CheckpointMismatch as exc:
         raise SystemExit(str(exc))
@@ -466,6 +474,73 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        MUTATIONS,
+        FuzzConfig,
+        OracleConfig,
+        load_corpus,
+        replay_entry,
+        run_fuzz,
+    )
+
+    if args.mutate and args.mutate not in MUTATIONS:
+        raise SystemExit(
+            f"unknown mutation {args.mutate!r}; "
+            f"pick from {', '.join(sorted(MUTATIONS))}"
+        )
+    cache = None
+    if not args.no_cache:
+        from repro.codegen import build_cache
+
+        cache = build_cache(args.cache)
+
+    if args.replay:
+        entries = load_corpus(args.replay)
+        if not entries:
+            raise SystemExit(f"no corpus entries under {args.replay}")
+        config = OracleConfig(
+            cycles=args.cycles, lanes=args.lanes,
+            check_gates=not args.no_gates,
+            check_verify=not args.no_verify, cache=cache,
+        )
+        missing = 0
+        for entry in entries:
+            finding = replay_entry(entry, config)
+            if finding is None:
+                missing += 1
+                print(f"{entry.name}: NO REPRO (expected "
+                      f"[{entry.finding['stage']}])")
+            else:
+                print(f"{entry.name}: reproduced [{finding.stage}] "
+                      f"{finding.detail}")
+        print(f"replayed {len(entries)} entr(ies), {missing} without repro")
+        return 1 if missing else 0
+
+    config = FuzzConfig(
+        seed=args.seed, specs=args.specs, max_blocks=args.max_blocks,
+        cycles=args.cycles, lanes=args.lanes, budget=args.budget,
+        corpus=args.corpus, mutation=args.mutate,
+        shrink=not args.no_shrink, check_gates=not args.no_gates,
+        check_verify=not args.no_verify, cache=cache,
+    )
+    progress = None
+    if args.progress:
+        progress = lambda done, found: print(  # noqa: E731
+            f"  {done}/{args.specs} spec(s), {found} finding(s)",
+            file=sys.stderr)
+    report = run_fuzz(config, progress=progress)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote report to {args.json}")
+    if args.corpus and report.findings:
+        print(f"wrote {len(report.findings)} corpus entr(ies) to "
+              f"{args.corpus}")
+    return 1 if report.findings else 0
+
+
 def cmd_dmg(args: argparse.Namespace) -> int:
     from repro.core.dmg import fig1_dmg
     from repro.core.export import to_dot
@@ -518,6 +593,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for periodic state-space snapshots; "
                         "rerunning with the same directory resumes an "
                         "interrupted build")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="build-cache directory serving completed "
+                        "state-space explorations for unchanged netlists "
+                        "(default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/codegen)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-explore the state space instead of reading "
+                        "the cache")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("export", help="emit Verilog / BLIF / SMV / DOT")
@@ -668,6 +751,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=5000)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="fuzz random system specs through the differential oracle "
+             "(nonzero exit on findings)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; output is byte-identical across "
+                        "runs for one seed (unless --budget cuts it short)")
+    p.add_argument("--specs", type=int, default=20,
+                   help="how many specs to generate and cross-check")
+    p.add_argument("--max-blocks", type=int, default=48,
+                   help="upper bound on blocks per generated spec")
+    p.add_argument("--cycles", type=int, default=96,
+                   help="simulated cycles per oracle stage")
+    p.add_argument("--lanes", type=int, default=8,
+                   help="randomized environment schedules compared "
+                        "per spec in the gate-level differential")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock budget in seconds; the campaign "
+                        "stops early (and says so) when it runs out")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="write each shrunk counterexample here as a "
+                        "replayable JSON entry")
+    p.add_argument("--replay", default=None, metavar="DIR",
+                   help="replay a corpus directory instead of fuzzing; "
+                        "nonzero exit when an entry stops reproducing")
+    p.add_argument("--mutate", default=None, metavar="NAME",
+                   help="plant a named seeded bug in every behavioural "
+                        "network (e.g. broken-early-join); the oracle "
+                        "must catch it")
+    p.add_argument("--json", default=None,
+                   help="write the deterministic JSON report here")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep findings at full size (skip spec-level "
+                        "ddmin)")
+    p.add_argument("--no-gates", action="store_true",
+                   help="skip the gate-level scalar/batch/compiled "
+                        "differential stage")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the bounded Kripke/CTL spot check")
+    p.add_argument("--progress", action="store_true",
+                   help="print progress lines to stderr while fuzzing")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="build-cache directory for compiled modules and "
+                        "Kripke structures (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/codegen)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run without the build cache")
+    p.set_defaults(func=cmd_fuzz)
     return parser
 
 

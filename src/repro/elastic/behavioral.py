@@ -52,6 +52,10 @@ def _b(value: object) -> Value:
     return 1 if value else 0
 
 
+#: Sentinel for "no payload latched" (None is legitimate channel data).
+_NO_HELD_DATA = object()
+
+
 class Controller:
     """Base class: a named controller with evaluate/commit phases."""
 
@@ -288,6 +292,7 @@ class EarlyJoin(Controller):
         self.ee = ee
         self.anti_capacity = anti_capacity
         self.apend = [0] * len(self.inputs)
+        self._held_data: object = _NO_HELD_DATA
 
     def channels(self) -> Sequence[Channel]:
         return (*self.inputs, self.output)
@@ -315,7 +320,14 @@ class EarlyJoin(Controller):
         vp_out = land(ee_val, lnot(full))
         changed |= out.drive_vp(vp_out)
         if vp_out == 1:
-            out.put_data(self.ee.output_data(valids, datas))
+            # SELF persistence: a token stalled in Retry+ must keep the
+            # payload it was first offered with, even if a late input
+            # arrives mid-retry and EE would now see more operands
+            # (positive unateness keeps V+ itself asserted).
+            if self._held_data is not _NO_HELD_DATA:
+                out.put_data(self._held_data)
+            else:
+                out.put_data(self.ee.output_data(valids, datas))
         changed |= out.drive_sn(full)
 
         fire = land(vp_out, lnot(out.sp))
@@ -344,6 +356,12 @@ class EarlyJoin(Controller):
                 raise ProtocolViolation(
                     f"{self.name}: anti-token counter {i} out of range"
                 )
+        # Latch the offered payload across a Retry+ stall; any other
+        # outcome (transfer, idle, kill) starts a fresh transaction.
+        if out.vp == 1 and out.sp == 1:
+            self._held_data = out.data
+        else:
+            self._held_data = _NO_HELD_DATA
 
 
 # ----------------------------------------------------------------------

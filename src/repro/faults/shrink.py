@@ -58,6 +58,12 @@ def shrink_schedule(
     tried with ``duration=1`` and ``cycle=0`` (kept only if the
     schedule still fails), turning long windows into point injections.
 
+    Each reduction round probes *every* aligned chunk removal and takes
+    the best failing candidate by ``(length, canonical labels)``, so
+    ties between equal-sized reductions break deterministically: the
+    same failing set minimises to the same schedule regardless of the
+    order the campaign happened to discover it in.
+
     Robust to flaky predicates: a candidate probe that raises or stops
     reproducing is simply not taken, so the result is always the last
     schedule the predicate confirmed failing -- never a crash.
@@ -68,17 +74,32 @@ def shrink_schedule(
     fails = _safe(fails)
     chunk = max(1, len(current) // 2)
     while chunk >= 1:
-        i = 0
-        while i < len(current):
-            candidate = current[:i] + current[i + chunk:]
-            if candidate and fails(candidate):
-                current = candidate
-            else:
-                i += chunk
+        reduced = True
+        while reduced:
+            reduced = False
+            best = None
+            for i in range(0, len(current), chunk):
+                candidate = current[:i] + current[i + chunk:]
+                if not candidate or not fails(candidate):
+                    continue
+                key = (len(candidate), _canon(candidate))
+                if best is None or key < best[0]:
+                    best = (key, candidate)
+            if best is not None:
+                current = best[1]
+                reduced = True
         chunk //= 2
     if minimise_windows:
         current = [_tighten(current, k, fails) for k in range(len(current))]
     return current
+
+
+def _canon(schedule: Sequence[FaultT]) -> tuple:
+    """A deterministic tie-break key: each fault's label (or repr)."""
+    return tuple(
+        fault.label() if hasattr(fault, "label") else repr(fault)
+        for fault in schedule
+    )
 
 
 def _tighten(

@@ -1,0 +1,93 @@
+"""Replayable JSON corpus of shrunk fuzz counterexamples.
+
+Every finding the fuzzer keeps is persisted as one self-contained JSON
+file: the original model, the shrunk minimal model, the finding, the
+seed, and (for seeded-bug demos) the mutation name.  Files are written
+byte-deterministically (sorted keys, fixed indentation), so a corpus
+directory produced by ``repro fuzz --seed S`` is identical across
+runs, and :func:`replay_entry` re-runs the oracle on the shrunk model
+to confirm a historical counterexample still reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fuzz.model import SpecModel
+from repro.fuzz.mutations import MUTATIONS
+from repro.fuzz.oracle import FuzzFinding, OracleConfig, run_oracle
+
+__all__ = ["CORPUS_SCHEMA", "CorpusEntry", "load_corpus", "replay_entry",
+           "save_entry"]
+
+CORPUS_SCHEMA = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One shrunk counterexample, ready to replay."""
+
+    name: str
+    seed: int
+    finding: Dict[str, object]
+    model: Dict[str, object]
+    shrunk: Dict[str, object]
+    mutation: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "mutation": self.mutation,
+            "finding": self.finding,
+            "model": self.model,
+            "shrunk": self.shrunk,
+            "blocks_before": len(self.model.get("blocks", ())),
+            "blocks_after": len(self.shrunk.get("blocks", ())),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "CorpusEntry":
+        return CorpusEntry(
+            name=str(data["name"]),
+            seed=int(data["seed"]),
+            finding=dict(data["finding"]),
+            model=dict(data["model"]),
+            shrunk=dict(data["shrunk"]),
+            mutation=data.get("mutation"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def save_entry(entry: CorpusEntry, directory) -> Path:
+    """Write one entry as ``<dir>/<name>.json`` (deterministic bytes)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{entry.name}.json"
+    target.write_text(entry.to_json())
+    return target
+
+
+def load_corpus(directory) -> List[CorpusEntry]:
+    """Every entry of a corpus directory, sorted by name."""
+    path = Path(directory)
+    entries = []
+    for file in sorted(path.glob("*.json")):
+        data = json.loads(file.read_text())
+        entries.append(CorpusEntry.from_dict(data))
+    return entries
+
+
+def replay_entry(
+    entry: CorpusEntry, config: OracleConfig = OracleConfig()
+) -> Optional[FuzzFinding]:
+    """Re-run the oracle on the entry's shrunk model (None = no repro)."""
+    model = SpecModel.from_dict(entry.shrunk)
+    mutate = MUTATIONS[entry.mutation] if entry.mutation else None
+    return run_oracle(model, seed=entry.seed, config=config, mutate=mutate)

@@ -1,0 +1,281 @@
+"""JSON-able models of :class:`~repro.synthesis.spec.SystemSpec`.
+
+A :class:`SystemSpec` holds callables (data functions, EE objects, gate
+EE builders, latency samplers) and therefore cannot be serialised,
+diffed, or shrunk structurally.  The fuzzer works on :class:`SpecModel`
+instead: a plain-data mirror whose attributes come from small symbolic
+palettes --
+
+* ``ee``: ``"thr:<k>"`` -- a k-of-n :class:`~repro.elastic.ee.
+  ThresholdEE` plus its gate twin (a sum-of-products over the input
+  valid wires; data-free, positive unate, so it is realisable without
+  data bits on the channels);
+* ``latency``: ``"fixed:<n>"`` or ``"uniform:<lo>:<hi>"`` -- a
+  variable-latency sampler over the elaboration's seeded RNG.
+
+:func:`SpecModel.build` materialises the real :class:`SystemSpec`;
+:meth:`SpecModel.to_dict` / :meth:`SpecModel.from_dict` round-trip
+through JSON byte-stably, which is what makes corpus entries replayable
+and spec-level ddmin candidates comparable.  Malformed models raise
+:class:`InvalidSpecModel` -- never a silent elaboration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.elastic.ee import ThresholdEE
+from repro.synthesis.spec import SystemSpec
+
+__all__ = [
+    "BlockModel",
+    "ConnModel",
+    "InvalidSpecModel",
+    "RegisterModel",
+    "SinkModel",
+    "SourceModel",
+    "SpecModel",
+]
+
+#: An endpoint as plain data: ``(kind, name, port)``.
+EndpointModel = Tuple[str, str, str]
+
+
+class InvalidSpecModel(ValueError):
+    """The model cannot be materialised into a valid ``SystemSpec``."""
+
+
+@dataclass
+class SourceModel:
+    name: str
+    p_valid: float = 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "p_valid": self.p_valid}
+
+
+@dataclass
+class SinkModel:
+    name: str
+    p_stop: float = 0.0
+    p_kill: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "p_stop": self.p_stop,
+                "p_kill": self.p_kill}
+
+
+@dataclass
+class BlockModel:
+    name: str
+    n_inputs: int = 1
+    n_outputs: int = 1
+    #: ``"thr:<k>"`` for a k-of-n early join, None for a lazy one
+    ee: Optional[str] = None
+    #: ``"fixed:<n>"`` / ``"uniform:<lo>:<hi>"`` for a VL unit
+    latency: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "ee": self.ee,
+            "latency": self.latency,
+        }
+
+
+@dataclass
+class RegisterModel:
+    name: str
+    capacity: int = 2
+    initial_tokens: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "capacity": self.capacity,
+                "initial_tokens": self.initial_tokens}
+
+
+@dataclass
+class ConnModel:
+    src: EndpointModel
+    dst: EndpointModel
+    passive: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"src": list(self.src), "dst": list(self.dst),
+                "passive": self.passive}
+
+
+@dataclass
+class SpecModel:
+    """A plain-data system description (see module docstring)."""
+
+    name: str
+    sources: List[SourceModel] = field(default_factory=list)
+    sinks: List[SinkModel] = field(default_factory=list)
+    blocks: List[BlockModel] = field(default_factory=list)
+    registers: List[RegisterModel] = field(default_factory=list)
+    connections: List[ConnModel] = field(default_factory=list)
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "sources": [s.to_dict() for s in self.sources],
+            "sinks": [s.to_dict() for s in self.sinks],
+            "blocks": [b.to_dict() for b in self.blocks],
+            "registers": [r.to_dict() for r in self.registers],
+            "connections": [c.to_dict() for c in self.connections],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SpecModel":
+        try:
+            return SpecModel(
+                name=str(data["name"]),
+                sources=[SourceModel(s["name"], float(s.get("p_valid", 1.0)))
+                         for s in data.get("sources", ())],
+                sinks=[SinkModel(s["name"], float(s.get("p_stop", 0.0)),
+                                 float(s.get("p_kill", 0.0)))
+                       for s in data.get("sinks", ())],
+                blocks=[BlockModel(
+                    b["name"],
+                    n_inputs=int(b.get("n_inputs", 1)),
+                    n_outputs=int(b.get("n_outputs", 1)),
+                    ee=b.get("ee"),
+                    latency=b.get("latency"),
+                ) for b in data.get("blocks", ())],
+                registers=[RegisterModel(
+                    r["name"],
+                    capacity=int(r.get("capacity", 2)),
+                    initial_tokens=int(r.get("initial_tokens", 0)),
+                ) for r in data.get("registers", ())],
+                connections=[ConnModel(
+                    tuple(c["src"]), tuple(c["dst"]),
+                    passive=bool(c.get("passive", False)),
+                ) for c in data.get("connections", ())],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidSpecModel(f"malformed spec model: {exc}") from exc
+
+    # -- introspection -------------------------------------------------
+    def clone(self) -> "SpecModel":
+        return SpecModel.from_dict(self.to_dict())
+
+    def component_names(self) -> Dict[str, str]:
+        """``name -> kind`` over every declared component."""
+        names: Dict[str, str] = {}
+        for kind, items in (("source", self.sources), ("sink", self.sinks),
+                            ("block", self.blocks),
+                            ("register", self.registers)):
+            for item in items:
+                names[item.name] = kind
+        return names
+
+    # -- materialisation -----------------------------------------------
+    def build(self) -> SystemSpec:
+        """The real :class:`SystemSpec`, or :class:`InvalidSpecModel`.
+
+        Every declaration error (bad EE token, EE arity mismatch,
+        latency on a multi-port block, dangling/duplicated ports) is
+        re-raised as the typed :class:`InvalidSpecModel`, so callers
+        never elaborate a half-built spec silently.
+        """
+        if not self.sources and not self.sinks and not self.blocks \
+                and not self.registers:
+            raise InvalidSpecModel(f"{self.name}: empty model")
+        spec = SystemSpec(self.name)
+        try:
+            for s in self.sources:
+                spec.add_source(s.name, p_valid=s.p_valid)
+            for s in self.sinks:
+                spec.add_sink(s.name, p_stop=s.p_stop, p_kill=s.p_kill)
+            for b in self.blocks:
+                ee = gate_ee = None
+                if b.ee is not None:
+                    ee, gate_ee = _parse_ee(b.ee, b.n_inputs, b.name)
+                spec.add_block(
+                    b.name,
+                    n_inputs=b.n_inputs,
+                    n_outputs=b.n_outputs,
+                    ee=ee,
+                    gate_ee=gate_ee,
+                    latency=(_parse_latency(b.latency, b.name)
+                             if b.latency is not None else None),
+                )
+            for r in self.registers:
+                if r.capacity < 1:
+                    raise InvalidSpecModel(
+                        f"{r.name}: capacity must be >= 1, got {r.capacity}"
+                    )
+                spec.add_register(r.name, capacity=r.capacity,
+                                  initial_tokens=r.initial_tokens)
+            for c in self.connections:
+                spec.connect(tuple(c.src), tuple(c.dst), passive=c.passive)
+            spec.validate()
+        except InvalidSpecModel:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise InvalidSpecModel(f"{self.name}: {exc}") from exc
+        return spec
+
+
+def _parse_ee(token: str, n_inputs: int, block: str):
+    """``"thr:<k>"`` -> (behavioural EE, gate EE builder)."""
+    kind, _, arg = token.partition(":")
+    if kind != "thr":
+        raise InvalidSpecModel(f"{block}: unknown EE palette entry {token!r}")
+    try:
+        k = int(arg)
+    except ValueError:
+        raise InvalidSpecModel(f"{block}: bad EE threshold in {token!r}")
+    if not 1 <= k <= n_inputs:
+        raise InvalidSpecModel(
+            f"{block}: threshold {k} outside 1..{n_inputs}"
+        )
+    return ThresholdEE(k, n_inputs), _threshold_gate_ee(k)
+
+
+def _threshold_gate_ee(k: int):
+    """The gate twin of :class:`ThresholdEE`: OR of k-wide AND terms.
+
+    Data-free and positive unate by construction, so it is a legal EE
+    function on channels that carry no data wires.
+    """
+
+    def gate_ee(nl, vps: Sequence[str], datas) -> str:
+        if k >= len(vps):
+            return nl.AND(*vps)
+        if k == 1:
+            return nl.OR(*vps)
+        terms = [nl.AND(*combo)
+                 for combo in itertools.combinations(vps, k)]
+        return nl.OR(*terms)
+
+    return gate_ee
+
+
+def _parse_latency(token: str, block: str):
+    kind, _, rest = token.partition(":")
+    try:
+        if kind == "fixed":
+            n = int(rest)
+            if n < 1:
+                raise ValueError(n)
+            return lambda rng: n
+        if kind == "uniform":
+            lo_s, _, hi_s = rest.partition(":")
+            lo, hi = int(lo_s), int(hi_s)
+            if not 1 <= lo <= hi:
+                raise ValueError((lo, hi))
+            return lambda rng: rng.randint(lo, hi)
+    except ValueError:
+        pass
+    raise InvalidSpecModel(f"{block}: unknown latency palette entry {token!r}")

@@ -1,0 +1,196 @@
+"""Spec-level ddmin: shrink a failing model, re-repairing as it goes.
+
+:mod:`repro.faults.shrink` minimises *trace-level* schedules -- lists
+of injections with no structure between elements.  A system model is
+different: removing a block leaves dangling ports, may open a deadlock
+cycle, and can orphan whole subgraphs.  :func:`shrink_model` extends
+the same ddmin loop to that domain by composing every removal with the
+validity pass of :func:`~repro.fuzz.generate.repair_model`:
+
+* candidates remove ever-smaller chunks of blocks/registers, bridging
+  a removed 1-in/1-out component's producer to its consumer, and let
+  the repair pass re-stub whatever is left dangling;
+* stub chains the removals created (a repair source feeding straight
+  into a repair sink) are pruned, so the candidate actually gets
+  smaller;
+* surviving components then get an attribute pass -- drop latencies,
+  early-evaluation functions, passivity, extra capacity -- keeping
+  each simplification only while the failure persists.
+
+Candidates are probed in sorted-name order and a probe that raises
+counts as "does not fail" (same contract as the trace-level shrinker),
+so the result is always the last *confirmed-failing* model.  A
+thousand-node counterexample typically reduces to a handful of blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.generate import SpecRepairError, repair_model
+from repro.fuzz.model import ConnModel, InvalidSpecModel, SpecModel
+
+__all__ = ["prune_stubs", "remove_components", "shrink_model"]
+
+#: Does this model still provoke the failure?
+Fails = Callable[[SpecModel], bool]
+
+
+def _safe(fails: Fails) -> Fails:
+    def safe(candidate: SpecModel) -> bool:
+        try:
+            return bool(fails(candidate))
+        except Exception:
+            return False
+
+    return safe
+
+
+def remove_components(
+    model: SpecModel, names: Sequence[str]
+) -> SpecModel:
+    """Drop the named blocks/registers, bridging across 1-in/1-out ones.
+
+    In- and out-connections of a removed component are paired up in
+    port order and bridged (producer wired straight to consumer);
+    unpaired neighbours are left dangling for the repair pass to stub.
+    """
+    doomed = set(names)
+    model = model.clone()
+    model.blocks = [b for b in model.blocks if b.name not in doomed]
+    model.registers = [r for r in model.registers if r.name not in doomed]
+    model.sources = [s for s in model.sources if s.name not in doomed]
+    model.sinks = [s for s in model.sinks if s.name not in doomed]
+
+    by_component: dict = {}
+    survivors: List[ConnModel] = []
+    for conn in model.connections:
+        src_gone = conn.src[1] in doomed and conn.src[0] != "source"
+        dst_gone = conn.dst[1] in doomed and conn.dst[0] != "sink"
+        if conn.src[1] in doomed or conn.dst[1] in doomed:
+            if dst_gone:
+                by_component.setdefault(conn.dst[1], ([], []))[0].append(conn)
+            if src_gone:
+                by_component.setdefault(conn.src[1], ([], []))[1].append(conn)
+            continue
+        survivors.append(conn)
+    for name in sorted(by_component):
+        ins, outs = by_component[name]
+        ins.sort(key=lambda c: c.dst[2])
+        outs.sort(key=lambda c: c.src[2])
+        for into, out in zip(ins, outs):
+            if into.src[1] in doomed or out.dst[1] in doomed:
+                continue  # a bridge into another removed component
+            survivors.append(ConnModel(into.src, out.dst,
+                                       passive=into.passive or out.passive))
+    model.connections = survivors
+    return model
+
+
+def prune_stubs(model: SpecModel) -> SpecModel:
+    """Drop direct source->sink connections along with both endpoints.
+
+    Such chains carry no information about the failure (the repair pass
+    recreates them at will) but inflate the component count; pruning
+    them is always validity-preserving.
+    """
+    model = model.clone()
+    while True:
+        trivial = [c for c in model.connections
+                   if c.src[0] == "source" and c.dst[0] == "sink"]
+        if not trivial:
+            return model
+        conn = trivial[0]
+        model.connections.remove(conn)
+        model.sources = [s for s in model.sources if s.name != conn.src[1]]
+        model.sinks = [s for s in model.sinks if s.name != conn.dst[1]]
+
+
+def _legalise(model: SpecModel) -> Optional[SpecModel]:
+    """Repair + prune a candidate; None when it cannot be made valid."""
+    try:
+        return prune_stubs(repair_model(model))
+    except (SpecRepairError, InvalidSpecModel):
+        return None
+
+
+def _removable(model: SpecModel) -> List[str]:
+    return sorted([b.name for b in model.blocks]
+                  + [r.name for r in model.registers])
+
+
+def _ddmin_components(model: SpecModel, fails: Fails) -> SpecModel:
+    current = model
+    names = _removable(current)
+    chunk = max(1, len(names) // 2)
+    while chunk >= 1:
+        reduced = True
+        while reduced:
+            reduced = False
+            names = _removable(current)
+            for i in range(0, len(names), chunk):
+                candidate = _legalise(
+                    remove_components(current, names[i:i + chunk])
+                )
+                if candidate is None:
+                    continue
+                if len(_removable(candidate)) >= len(names):
+                    continue  # repair re-grew it; not a reduction
+                if fails(candidate):
+                    current = candidate
+                    reduced = True
+                    break
+        chunk //= 2
+    return current
+
+
+def _attribute_pass(model: SpecModel, fails: Fails) -> SpecModel:
+    """Simplify surviving attributes while the failure persists."""
+    current = model
+
+    def try_simpler(mutant: SpecModel) -> bool:
+        nonlocal current
+        candidate = _legalise(mutant)
+        if candidate is not None and fails(candidate):
+            current = candidate
+            return True
+        return False
+
+    for block in sorted(b.name for b in current.blocks):
+        mutant = current.clone()
+        b = next(x for x in mutant.blocks if x.name == block)
+        if b.latency is not None:
+            b.latency = None
+            try_simpler(mutant)
+        mutant = current.clone()
+        b = next(x for x in mutant.blocks if x.name == block)
+        if b.ee is not None:
+            b.ee = None
+            try_simpler(mutant)
+    for reg in sorted(r.name for r in current.registers):
+        mutant = current.clone()
+        r = next((x for x in mutant.registers if x.name == reg), None)
+        if r is not None and (r.capacity != 2 or r.initial_tokens > 1):
+            r.capacity = 2
+            r.initial_tokens = min(r.initial_tokens, 1)
+            try_simpler(mutant)
+    if any(c.passive for c in current.connections):
+        mutant = current.clone()
+        for c in mutant.connections:
+            c.passive = False
+        try_simpler(mutant)
+    return current
+
+
+def shrink_model(model: SpecModel, fails: Fails) -> SpecModel:
+    """Minimise a failing model (ValueError when it does not fail).
+
+    The ddmin loop probes candidates in sorted component-name order and
+    accepts the first failing reduction of each sweep, so the result is
+    deterministic for a deterministic predicate.
+    """
+    if not fails(model):
+        raise ValueError("model does not fail; nothing to shrink")
+    fails = _safe(fails)
+    current = _ddmin_components(model, fails)
+    return _attribute_pass(current, fails)

@@ -16,11 +16,21 @@ controller state under expansion instead of exhausting memory -- and
 resumable: a ``checkpoint`` directory receives periodic atomic
 snapshots of the frontier, and a rerun pointed at the same directory
 continues the exploration and produces the identical structure.
+
+Completed explorations are additionally cacheable: pass a
+:class:`~repro.codegen.cache.BuildCache` and the (sequential-state,
+transition) tables are stored as a content-addressed JSON artifact
+keyed on the netlist fingerprint and the observed signals -- the same
+mechanism that already caches compiled simulator modules and lint
+findings.  A cache hit skips the exploration entirely and folds the
+stored tables into the identical :class:`KripkeStructure`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
@@ -30,6 +40,35 @@ from repro.rtl.netlist import Netlist
 from repro.rtl.simulator import TwoPhaseSimulator
 
 StateKey = Tuple[int, ...]
+
+#: Bump when the exploration semantics or the cached-table encoding
+#: changes; every cached Kripke artifact is invalidated (key change).
+KRIPKE_VERSION = 1
+
+
+def _kripke_key(netlist: Netlist, observed: Sequence[str]) -> str:
+    """The state-space cache key of one netlist + observation set."""
+    from repro.codegen.fingerprint import netlist_fingerprint
+
+    blob = json.dumps({
+        "kind": "kripke-structure",
+        "version": KRIPKE_VERSION,
+        "netlist": netlist_fingerprint(netlist),
+        "observe": list(observed),
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _pack_label(label: Tuple[int, ...]) -> int:
+    packed = 0
+    for j, bit in enumerate(label):
+        if bit:
+            packed |= 1 << j
+    return packed
+
+
+def _unpack_label(packed: int, width: int) -> Tuple[int, ...]:
+    return tuple((packed >> j) & 1 for j in range(width))
 
 
 class StateSpaceLimitError(RuntimeError):
@@ -120,6 +159,7 @@ def build_kripke(
     progress_every: int = 1024,
     checkpoint: Optional[str] = None,
     checkpoint_every: int = 2048,
+    cache=None,
 ) -> KripkeStructure:
     """Enumerate the reachable Kripke structure of ``netlist``.
 
@@ -146,6 +186,11 @@ def build_kripke(
             bound is *not* part of the fingerprint, so a resume may
             raise (or lift) ``max_states``.
         checkpoint_every: snapshot cadence in newly discovered states.
+        cache: optional :class:`~repro.codegen.cache.BuildCache`.  A
+            completed exploration of the same netlist fingerprint and
+            observation set is loaded instead of re-explored (provided
+            it fits ``max_states``); fresh explorations are stored on
+            completion.
 
     Returns:
         The reachable :class:`KripkeStructure`.
@@ -160,6 +205,26 @@ def build_kripke(
         dict(zip(inputs, combo))
         for combo in itertools.product((0, 1), repeat=len(inputs))
     ]
+
+    cache_key = _kripke_key(netlist, observed) if cache is not None else None
+    if cache is not None:
+        payload = cache.load_json(cache_key)
+        if (isinstance(payload, dict)
+                and len(payload.get("seq_states", ())) <= max_states):
+            seq_states = [
+                {n: _decode_value(v) for n, v in zip(state_names, values)}
+                for values in payload["seq_states"]
+            ]
+            transition = {
+                (int(si), int(ii)): (
+                    int(next_si), _unpack_label(int(packed), len(observed))
+                )
+                for si, ii, next_si, packed in payload["transition"]
+            }
+            return _fold_structure(
+                seq_states, transition, observed, inputs, input_combos,
+                state_names,
+            )
 
     def state_key(state: Mapping[str, int]) -> StateKey:
         return tuple(state[n] for n in state_names)
@@ -182,30 +247,22 @@ def build_kripke(
             "observe": observed,
         })
 
-    def pack_label(label: Tuple[int, ...]) -> int:
-        packed = 0
-        for j, bit in enumerate(label):
-            if bit:
-                packed |= 1 << j
-        return packed
-
-    def unpack_label(packed: int) -> Tuple[int, ...]:
-        return tuple((packed >> j) & 1 for j in range(len(observed)))
-
-    def save_snapshot() -> None:
-        if store is None:
-            return
-        store.save_snapshot({
-            "frontier": list(frontier),
+    def encode_tables() -> Dict[str, object]:
+        return {
             "seq_states": [
                 [_encode_value(state[n]) for n in state_names]
                 for state in seq_states
             ],
-            "transition": [
-                [si, ii, next_si, pack_label(label)]
+            "transition": sorted(
+                [si, ii, next_si, _pack_label(label)]
                 for (si, ii), (next_si, label) in transition.items()
-            ],
-        })
+            ),
+        }
+
+    def save_snapshot() -> None:
+        if store is None:
+            return
+        store.save_snapshot({"frontier": list(frontier), **encode_tables()})
 
     snapshot = store.load_snapshot() if store is not None else None
     if isinstance(snapshot, dict):
@@ -218,7 +275,7 @@ def build_kripke(
         frontier = [int(si) for si in snapshot["frontier"]]
         for si, ii, next_si, packed in snapshot["transition"]:
             transition[(int(si), int(ii))] = (
-                int(next_si), unpack_label(int(packed))
+                int(next_si), _unpack_label(int(packed), len(observed))
             )
     else:
         initial_state = sim.initial_state()
@@ -254,8 +311,28 @@ def build_kripke(
     save_snapshot()
     if progress is not None:
         progress(len(seq_states), 0)
+    if cache is not None:
+        cache.store_json(cache_key, encode_tables(), meta={
+            "kind": "kripke-structure",
+            "version": KRIPKE_VERSION,
+            "netlist": netlist.name,
+            "states": len(seq_states),
+        })
 
-    # Second pass: fold inputs into Kripke states.
+    return _fold_structure(
+        seq_states, transition, observed, inputs, input_combos, state_names
+    )
+
+
+def _fold_structure(
+    seq_states: List[Dict[str, object]],
+    transition: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]],
+    observed: List[str],
+    inputs: List[str],
+    input_combos: List[Dict[str, int]],
+    state_names: List[str],
+) -> KripkeStructure:
+    """Second pass: fold inputs into Kripke (state, input) pairs."""
     n_inputs = len(input_combos)
     n_kripke = len(seq_states) * n_inputs
 
@@ -270,7 +347,7 @@ def build_kripke(
         labels[idx] = label
         successors[idx] = [k_index(next_si, jj) for jj in range(n_inputs)]
         raw[idx] = (
-            state_key(seq_states[si]),
+            tuple(seq_states[si][n] for n in state_names),
             tuple(input_combos[ii][name] for name in inputs),
         )
     initial = [k_index(0, ii) for ii in range(n_inputs)]

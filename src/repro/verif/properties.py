@@ -80,13 +80,16 @@ def verify_netlist(
     include_liveness: bool = True,
     max_states: int = 500_000,
     checkpoint: Optional[str] = None,
+    cache=None,
 ) -> VerificationResult:
     """Build the Kripke structure of ``netlist`` and verify its channels.
 
     All channel wires (plus the netlist inputs, needed for fairness
     constraints over environment choices) are observed.  ``checkpoint``
-    is forwarded to :func:`~repro.verif.kripke.build_kripke`, making an
-    interrupted state-space build resumable.
+    and ``cache`` are forwarded to
+    :func:`~repro.verif.kripke.build_kripke`: the former makes an
+    interrupted state-space build resumable, the latter serves repeat
+    explorations from the content-addressed build cache.
     """
     observe: List[str] = []
     for ch in channels:
@@ -100,7 +103,8 @@ def verify_netlist(
             seen.add(sig)
             unique.append(sig)
     kripke = build_kripke(
-        netlist, observe=unique, max_states=max_states, checkpoint=checkpoint
+        netlist, observe=unique, max_states=max_states,
+        checkpoint=checkpoint, cache=cache,
     )
     return verify_channel_properties(
         kripke, channels, fairness=fairness, include_liveness=include_liveness

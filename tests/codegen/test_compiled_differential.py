@@ -1,30 +1,28 @@
 """Differential testing: CompiledSimulator vs batch vs scalar.
 
-Hypothesis reuses the random-netlist/stimulus/fault generators of the
-batch differential suite and adds the compiled backend to the
-comparison, in both plane representations and past the 64-lane word
-boundary.  The contract under test is byte-level: a compiled module's
-end-of-cycle planes must equal the interpreted batch kernel's planes
-exactly, for every signal, every cycle, with X stimulus and per-lane
-faults live.
+Hypothesis reuses the shared random-circuit strategies of
+``tests/strategies.py`` (the same distribution the batch differential
+suite drives) and adds the compiled backend to the comparison, in both
+plane representations and past the 64-lane word boundary.  The
+contract under test is byte-level: a compiled module's end-of-cycle
+planes must equal the interpreted batch kernel's planes exactly, for
+every signal, every cycle, with X stimulus and per-lane faults live.
 """
 
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.codegen.sim import CompiledSimulator
 from repro.rtl.batchsim import BatchSimulator, pack_stimulus
 from repro.rtl.simulator import TwoPhaseSimulator
-from tests.rtl.test_batchsim_differential import (
+from tests.strategies import (
     CYCLES,
     LANES,
     _batch_overrides,
     _scalar_overrides,
-    build_random_netlist,
-    random_injections,
-    random_stimulus,
+    differential_cases,
 )
 
 
@@ -43,13 +41,10 @@ def _assert_planes_match(nl, batch, compiled, ctx):
 
 
 @settings(max_examples=60, deadline=None)
-@given(st.integers(0, 2**32 - 1))
-def test_compiled_matches_batch_and_scalar(seed):
+@given(differential_cases())
+def test_compiled_matches_batch_and_scalar(case):
     """64 lanes: compiled (int and numpy planes) == batch == scalar."""
-    rng = random.Random(seed)
-    nl = build_random_netlist(rng)
-    stimuli = random_stimulus(rng, nl)
-    injections = random_injections(rng, nl)
+    seed, nl, stimuli, injections = case
     sites = frozenset(nl.signals())
 
     batch = BatchSimulator(nl, lanes=LANES)
@@ -86,14 +81,13 @@ def test_compiled_matches_batch_and_scalar(seed):
 
 
 @settings(max_examples=25, deadline=None)
-@given(st.integers(0, 2**32 - 1))
-def test_wide_lanes_match_batch(seed):
+@given(differential_cases())
+def test_wide_lanes_match_batch(case):
     """96 lanes (past one machine word): compiled == batch, both reps."""
     lanes = 96
-    rng = random.Random(seed)
-    nl = build_random_netlist(rng)
-    stimuli = _widen(random_stimulus(rng, nl), lanes)
-    injections = _widen(random_injections(rng, nl), lanes)
+    seed, nl, stimuli, injections = case
+    stimuli = _widen(stimuli, lanes)
+    injections = _widen(injections, lanes)
     sites = frozenset(nl.signals())
 
     batch = BatchSimulator(nl, lanes=lanes)

@@ -4,6 +4,10 @@ Every test gets a private ``REPRO_CACHE_DIR`` under its tmp dir, so
 tests exercising the compiled backend (or the CLI defaults) never read
 or pollute the developer's real cache, and never see each other's
 artifacts.
+
+The shared Hypothesis strategies (random netlists, differential cases,
+valid system-spec models) live in ``tests/strategies.py``; import from
+there, or take the ``strategies`` fixture.
 """
 
 import pytest
@@ -12,3 +16,11 @@ import pytest
 @pytest.fixture(autouse=True)
 def _isolated_build_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "codegen-cache"))
+
+
+@pytest.fixture(scope="session")
+def strategies():
+    """The ``tests.strategies`` module, for fixture-style consumers."""
+    from tests import strategies as module
+
+    return module

@@ -1,0 +1,193 @@
+"""Generator validity: fuzzed specs are clean by construction.
+
+The central contract of :mod:`repro.fuzz.generate`: every model the
+generator emits builds into a :class:`SystemSpec`, passes the
+spec-level lint with zero ERROR findings, elaborates to the
+behavioural network, and (since the default palette keeps register
+capacities at 2) to the gate netlist too.  Hypothesis drives the
+shared :func:`tests.strategies.spec_models` strategy; the edge-case
+class pins the repair/typed-error behaviour for degenerate inputs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.fuzz.generate import (
+    GeneratorConfig,
+    SpecRepairError,
+    generate_model,
+    repair_model,
+)
+from repro.fuzz.model import (
+    BlockModel,
+    ConnModel,
+    InvalidSpecModel,
+    RegisterModel,
+    SinkModel,
+    SourceModel,
+    SpecModel,
+)
+from repro.lint.elastic_rules import lint_spec
+from repro.synthesis.elaborate import to_behavioral, to_gates
+from tests.strategies import spec_models
+
+
+def _errors(spec):
+    return [f for f in lint_spec(spec) if f.severity.name == "ERROR"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec_models(max_blocks=12))
+def test_generated_models_are_valid(model):
+    spec = model.build()
+    assert _errors(spec) == []
+    net = to_behavioral(spec, seed=0, monitor=True, check_data=True)
+    for _ in range(16):
+        net.step()
+    if all(r.capacity == 2 for r in spec.registers.values()):
+        elab = to_gates(spec, include_env=True, as_latches=False)
+        assert elab.netlist.name == model.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec_models(max_blocks=12))
+def test_round_trip_is_byte_stable(model):
+    clone = SpecModel.from_dict(model.to_dict())
+    assert clone.to_json() == model.to_json()
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        a = generate_model(random.Random("s:1"), GeneratorConfig(max_blocks=20))
+        b = generate_model(random.Random("s:1"), GeneratorConfig(max_blocks=20))
+        assert a.to_json() == b.to_json()
+
+    def test_different_seed_different_model(self):
+        a = generate_model(random.Random("s:1"), GeneratorConfig(max_blocks=20))
+        b = generate_model(random.Random("s:2"), GeneratorConfig(max_blocks=20))
+        assert a.to_json() != b.to_json()
+
+    def test_scales_to_hundreds_of_controllers(self):
+        cfg = GeneratorConfig(max_blocks=400, min_blocks=400)
+        model = generate_model(random.Random("big"), cfg, name="big")
+        assert len(model.blocks) == 400
+        spec = model.build()
+        assert _errors(spec) == []
+        # controllers = blocks + registers + sources + sinks
+        assert len(spec.blocks) + len(spec.registers) > 400
+
+
+class TestEdgeCases:
+    """Degenerate models must repair cleanly or raise a typed error --
+    never elaborate silently."""
+
+    def test_empty_model_raises_typed_error(self):
+        with pytest.raises(InvalidSpecModel, match="empty model"):
+            SpecModel("empty").build()
+        with pytest.raises(InvalidSpecModel):
+            repair_model(SpecModel("empty"))
+
+    def test_zero_block_model_repairs_cleanly(self):
+        model = SpecModel("wire", sources=[SourceModel("src0")],
+                          sinks=[SinkModel("snk0")],
+                          connections=[ConnModel(("source", "src0", "out"),
+                                                 ("sink", "snk0", "in"))])
+        fixed = repair_model(model)
+        assert fixed.blocks == []
+        assert _errors(fixed.build()) == []
+
+    def test_self_loop_register_repairs_cleanly(self):
+        model = SpecModel(
+            "selfloop",
+            registers=[RegisterModel("r0", capacity=2, initial_tokens=0)],
+            connections=[ConnModel(("register", "r0", "out"),
+                                   ("register", "r0", "in"))],
+        )
+        fixed = repair_model(model)
+        reg = next(r for r in fixed.registers if r.name == "r0")
+        # The repair pass seeds a token and keeps a bubble available.
+        assert reg.initial_tokens >= 1
+        assert reg.capacity >= 2
+        spec = fixed.build()
+        assert _errors(spec) == []
+        to_behavioral(spec, seed=0).step()
+
+    def _capacity1_loop(self):
+        return SpecModel(
+            "cap1",
+            sources=[SourceModel("src0")], sinks=[SinkModel("snk0")],
+            blocks=[BlockModel("b0", n_inputs=2, n_outputs=2)],
+            registers=[RegisterModel("r0", capacity=1, initial_tokens=1)],
+            connections=[
+                ConnModel(("source", "src0", "out"), ("block", "b0", "in0")),
+                ConnModel(("block", "b0", "out0"), ("register", "r0", "in")),
+                ConnModel(("register", "r0", "out"), ("block", "b0", "in1")),
+                ConnModel(("block", "b0", "out1"), ("sink", "snk0", "in")),
+            ],
+        )
+
+    def test_capacity1_loop_raises_typed_error_unrepaired(self):
+        from repro.synthesis.flow import ElasticLintError, elasticize
+
+        model = self._capacity1_loop()
+        errors = _errors(model.build())
+        assert any(f.rule == "ELX005" for f in errors)
+        with pytest.raises(ElasticLintError):
+            elasticize(model.build())
+
+    def test_capacity1_loop_repairs_cleanly(self):
+        fixed = repair_model(self._capacity1_loop())
+        reg = next(r for r in fixed.registers if r.name == "r0")
+        assert reg.capacity >= 2  # the bubble the loop was missing
+        assert _errors(fixed.build()) == []
+
+    def test_passive_only_interfaces_elaborate_with_info_only(self):
+        model = SpecModel(
+            "passv",
+            sources=[SourceModel("src0")], sinks=[SinkModel("snk0")],
+            blocks=[BlockModel("b0")],
+            connections=[
+                ConnModel(("source", "src0", "out"), ("block", "b0", "in0"),
+                          passive=True),
+                ConnModel(("block", "b0", "out0"), ("sink", "snk0", "in"),
+                          passive=True),
+            ],
+        )
+        spec = model.build()
+        findings = lint_spec(spec)
+        assert _errors(spec) == []
+        assert all(f.rule == "ELX007" for f in findings)
+        net = to_behavioral(spec, seed=0, monitor=True)
+        for _ in range(8):
+            net.step()
+
+    def test_unrepairable_cycle_raises_typed_error(self):
+        # ELX004 fixes and register insertion are monotone, so genuine
+        # non-convergence needs a model .build() accepts but whose lint
+        # errors the fixer cannot map to a connection arc; simulate by
+        # exhausting rounds.
+        model = self._capacity1_loop()
+        with pytest.raises(SpecRepairError):
+            repair_model(model, max_rounds=0)
+
+    def test_dangling_ports_are_stubbed(self):
+        model = SpecModel("dangle", blocks=[BlockModel("b0", n_inputs=2,
+                                                       n_outputs=2)])
+        fixed = repair_model(model)
+        assert len(fixed.sources) == 2
+        assert len(fixed.sinks) == 2
+        assert _errors(fixed.build()) == []
+
+    def test_bad_ee_token_raises_typed_error(self):
+        model = SpecModel("badee", blocks=[BlockModel("b0", n_inputs=2,
+                                                      ee="magic:3")])
+        with pytest.raises(InvalidSpecModel, match="palette"):
+            model.build()
+
+    def test_bad_latency_token_raises_typed_error(self):
+        model = SpecModel("badvl", blocks=[BlockModel("b0",
+                                                      latency="gauss:2")])
+        with pytest.raises(InvalidSpecModel, match="palette"):
+            model.build()

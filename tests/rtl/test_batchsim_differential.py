@@ -4,126 +4,31 @@ Hypothesis drives randomly generated acyclic netlists (gates, both
 latch phases, flip-flop feedback), per-lane stimulus with explicit X
 states, and per-lane fault injections; every one of the 64 lanes must
 match its own scalar simulation cycle-for-cycle -- all signal values,
-X-propagation, and latch/flop state included.  The generator builds
-cells in topological order (each cell reads only earlier signals), so
-phase-acyclicity is guaranteed by construction; flip-flops are
-sequential cuts and may feed back freely.
+X-propagation, and latch/flop state included.  The generators live in
+``tests/strategies.py`` (shared with the compiled-backend suite), and
+build cells in topological order (each cell reads only earlier
+signals), so phase-acyclicity is guaranteed by construction;
+flip-flops are sequential cuts and may feed back freely.
 """
 
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
-from repro.rtl.batchsim import BatchSimulator, LaneOverride, pack_stimulus
-from repro.rtl.logic import X, lnot
-from repro.rtl.netlist import Netlist, Phase
+from repro.rtl.batchsim import BatchSimulator, pack_stimulus
 from repro.rtl.simulator import TwoPhaseSimulator
-
-LANES = 64
-CYCLES = 5
-
-_VARIADIC = ["AND", "OR", "NAND", "NOR"]
-
-
-def build_random_netlist(rng: random.Random) -> Netlist:
-    """A random netlist whose cells only read earlier-created signals."""
-    nl = Netlist("rand")
-    pool = [nl.add_input(f"in{i}") for i in range(rng.randint(1, 4))]
-    ff_qs = [f"ff{j}" for j in range(rng.randint(0, 3))]
-    pool += ff_qs  # flop outputs are readable before they are driven
-    for i in range(rng.randint(3, 22)):
-        r = rng.random()
-        if r < 0.15:
-            q = nl.add_latch(
-                rng.choice(pool),
-                rng.choice([Phase.HIGH, Phase.LOW]),
-                q=f"lat{i}",
-                init=rng.choice([0, 1, X]),
-            )
-        elif r < 0.25:
-            q = nl.MUX(*(rng.choice(pool) for _ in range(3)), out=f"g{i}")
-        elif r < 0.35:
-            q = nl.XOR(rng.choice(pool), rng.choice(pool), out=f"g{i}")
-        elif r < 0.45:
-            op = rng.choice(["NOT", "BUF", "CONST0", "CONST1"])
-            ins = (rng.choice(pool),) if op in ("NOT", "BUF") else ()
-            q = nl.add_gate(op, ins, out=f"g{i}")
-        else:
-            op = rng.choice(_VARIADIC)
-            ins = [rng.choice(pool) for _ in range(rng.randint(0, 3))]
-            q = nl.add_gate(op, ins, out=f"g{i}")
-        pool.append(q)
-    for q in ff_qs:
-        nl.add_flop(rng.choice(pool), q=q, init=rng.choice([0, 1]))
-    nl.validate()
-    return nl
-
-
-def random_stimulus(rng: random.Random, netlist: Netlist):
-    """Per-lane, per-cycle input maps with ~15% explicit X drives."""
-    def one_value():
-        r = rng.random()
-        return X if r < 0.15 else (1 if r < 0.575 else 0)
-
-    return [
-        [
-            {name: one_value() for name in netlist.inputs}
-            for _ in range(CYCLES)
-        ]
-        for _ in range(LANES)
-    ]
-
-
-def random_injections(rng: random.Random, netlist: Netlist):
-    """At most one fault per lane: (net, kind, cycle, duration|None)."""
-    sites = sorted(netlist.signals())
-    injections = []
-    for _ in range(LANES):
-        if rng.random() < 0.5:
-            injections.append(None)
-            continue
-        injections.append((
-            rng.choice(sites),
-            rng.choice(["stuck0", "stuck1", "flip"]),
-            rng.randrange(CYCLES),
-            rng.choice([None, 1, 2]),
-        ))
-    return injections
-
-
-def _active(inj, time):
-    net, kind, cycle, duration = inj
-    return time >= cycle and (duration is None or time < cycle + duration)
-
-
-def _batch_overrides(injections, time):
-    masks = {}
-    for lane, inj in enumerate(injections):
-        if inj is None or not _active(inj, time):
-            continue
-        net, kind, _, _ = inj
-        m = masks.setdefault(net, [0, 0, 0])
-        m[{"stuck0": 0, "stuck1": 1, "flip": 2}[kind]] |= 1 << lane
-    return {
-        net: LaneOverride(set0=m[0], set1=m[1], flip=m[2])
-        for net, m in masks.items()
-    }
-
-
-def _scalar_overrides(inj, time):
-    if inj is None or not _active(inj, time):
-        return {}
-    net, kind, _, _ = inj
-    return {net: {"stuck0": 0, "stuck1": 1, "flip": lnot}[kind]}
+from tests.strategies import (
+    LANES,
+    _batch_overrides,
+    _scalar_overrides,
+    differential_cases,
+)
 
 
 @settings(max_examples=220, deadline=None)
-@given(st.integers(0, 2**32 - 1))
-def test_every_lane_matches_scalar(seed):
-    rng = random.Random(seed)
-    nl = build_random_netlist(rng)
-    stimuli = random_stimulus(rng, nl)
-    injections = random_injections(rng, nl)
+@given(differential_cases())
+def test_every_lane_matches_scalar(case):
+    seed, nl, stimuli, injections = case
 
     batch = BatchSimulator(nl, lanes=LANES)
     scalars = [TwoPhaseSimulator(nl) for _ in range(LANES)]

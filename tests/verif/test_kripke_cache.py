@@ -1,0 +1,85 @@
+"""Regression tests: Kripke structures through the build cache.
+
+Mirrors the lint-findings caching contract: a first build is a miss
+that stores the exploration tables, a rebuild of the same netlist +
+observation set is a hit that folds the stored tables into a
+structurally identical Kripke structure, and changing the observation
+set changes the key.
+"""
+
+from repro.codegen.cache import BuildCache, process_stats
+from repro.rtl.netlist import Netlist
+from repro.verif.kripke import _kripke_key, build_kripke
+from repro.verif.properties import verify_netlist
+from repro.verif.testbenches import DESIGNS, diamond_with_feedback
+
+
+def toggler():
+    nl = Netlist("tog")
+    en = nl.add_input("en")
+    q = nl.add_flop("d", q="q", init=0)
+    nl.XOR(q, en, out="d")
+    nl.add_output("q")
+    return nl
+
+
+def _equal(a, b):
+    return (a.signals == b.signals and a.labels == b.labels
+            and a.successors == b.successors and a.initial == b.initial
+            and a.input_names == b.input_names
+            and a.raw_states == b.raw_states)
+
+
+class TestKripkeCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = BuildCache(tmp_path / "cache")
+        nl = toggler()
+        before = process_stats()
+        fresh = build_kripke(nl, cache=cache)
+        after_miss = process_stats()
+        assert after_miss["misses"] == before["misses"] + 1
+
+        # A new cache instance against the same root: disk-tier hit.
+        cached = build_kripke(nl, cache=BuildCache(tmp_path / "cache"))
+        after_hit = process_stats()
+        assert after_hit["hits"] == after_miss["hits"] + 1
+        assert after_hit["misses"] == after_miss["misses"]
+        assert _equal(fresh, cached)
+
+    def test_cached_structure_is_identical(self, tmp_path):
+        cache = BuildCache(tmp_path / "cache")
+        nl, chans, fairness = diamond_with_feedback(**DESIGNS["early"])
+        fresh = verify_netlist(nl, chans, fairness=fairness, cache=cache)
+        again = verify_netlist(nl, chans, fairness=fairness, cache=cache)
+        assert fresh.ok == again.ok
+        assert fresh.results == again.results
+        assert fresh.states == again.states
+
+    def test_observe_set_is_part_of_the_key(self):
+        nl = toggler()
+        assert _kripke_key(nl, ["q"]) != _kripke_key(nl, ["q", "en"])
+
+    def test_netlist_change_changes_key(self):
+        a = toggler()
+        b = toggler()
+        b.add_input("extra")
+        assert _kripke_key(a, ["q"]) != _kripke_key(b, ["q"])
+
+    def test_oversized_cached_entry_not_served(self, tmp_path):
+        cache = BuildCache(tmp_path / "cache")
+        nl = Netlist("big")
+        prev = nl.add_input("in0")
+        for i in range(4):
+            prev = nl.add_flop(prev, q=f"q{i}", init=0)
+        nl.add_output(prev)
+        build_kripke(nl, cache=cache)  # stores the full exploration
+        import pytest
+
+        from repro.verif.kripke import StateSpaceLimitError
+
+        with pytest.raises(StateSpaceLimitError):
+            build_kripke(nl, cache=cache, max_states=3)
+
+    def test_no_cache_still_works(self):
+        k = build_kripke(toggler(), cache=None)
+        assert len(k) == 4
