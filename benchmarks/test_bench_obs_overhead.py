@@ -72,6 +72,36 @@ def test_disabled_tracing_overhead_under_5_percent():
     )
 
 
+def test_disabled_profilers_attach_nothing():
+    """The profile layer honours the same zero-cost no-op contract.
+
+    A disabled :class:`RtlChannelProfiler` must leave scalar and batch
+    simulators observer-free, and a disabled :class:`NetworkProfiler`
+    must add neither probes nor channel observers -- so a run that does
+    not ask for a performance report stays on the untouched code path
+    the timing gate above locks.
+    """
+    from repro.obs import NetworkProfiler, RtlChannelProfiler
+    from repro.obs.analyze import _pipeline_network
+    from repro.rtl.batchsim import BatchSimulator
+    from repro.rtl.simulator import TwoPhaseSimulator
+
+    target = resolve_target("dual_ehb")
+    profiler = RtlChannelProfiler(target, enabled=False)
+    scalar = TwoPhaseSimulator(target.netlist)
+    batch = BatchSimulator(target.netlist, 4)
+    profiler.attach_scalar(scalar)
+    profiler.attach_lane(batch, 0)
+    assert not scalar.observers and not batch.observers
+
+    net = _pipeline_network(seed=2007)
+    probes = len(net.probes)
+    observers = sum(len(c.observers) for c in net.channels.values())
+    NetworkProfiler(enabled=False).attach(net)
+    assert len(net.probes) == probes
+    assert sum(len(c.observers) for c in net.channels.values()) == observers
+
+
 def test_enabled_tracing_cost_is_reported():
     target = resolve_target("dual_ehb")
     chunks = _chunks(target, CONFIG, LANES)

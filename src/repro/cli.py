@@ -13,10 +13,16 @@ Usage (after ``pip install -e .``)::
     python -m repro inject   [--netlist dual_ehb|...|processor]
                              [--fault stuck0,stuck1] [--cycles 400]
                              [--seed 2007] [--report out.json] [--shrink]
-                             [--metrics] [--degradation] [--progress]
+                             [--metrics] [--degradation] [--profile]
+                             [--progress]
                              [--checkpoint dir] [--resume dir]
                              [--shard-timeout 60] [--max-retries 2]
                              [--backend batch|compiled] [--cache dir]
+    python -m repro profile  [--design early_join|active|pipeline|...]
+                             [--backend auto|scalar|batch|compiled]
+                             [--cycles 2000] [--seed 2007]
+                             [--compare-model] [--tolerance 0.15]
+                             [--json out.json] [--cache dir] [--list]
     python -m repro build    [target ...] [--cache dir] [--stats] [--clear]
     python -m repro lint     [target ...] [--list] [--json out.json]
                              [--sarif out.sarif] [--baseline file]
@@ -25,6 +31,7 @@ Usage (after ``pip install -e .``)::
     python -m repro trace    [--config active|...|pipeline] [--cycles 64]
                              [--vcd out.vcd] [--events out.jsonl]
     python -m repro stats    [--config active] [--cycles 5000] [--seed 0]
+                             [--prometheus]
     python -m repro fuzz     [--seed 7] [--specs 100] [--max-blocks 48]
                              [--budget 60] [--corpus dir] [--mutate name]
                              [--replay dir] [--json out.json]
@@ -217,9 +224,42 @@ def cmd_stats(args: argparse.Namespace) -> int:
     recorder.attach_network(net)
     net.run(args.cycles)
     collect_network_metrics(net, registry)
+    if args.prometheus:
+        print(registry.render_prometheus(), end="")
+        return 0
     print(f"{net.name}: {net.cycle} cycles, {len(net.channels)} channels, "
           f"{len(buffers)} elastic buffers")
     print(registry.render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import profile_designs, run_profile
+
+    if args.list:
+        for name in profile_designs():
+            print(name)
+        return 0
+    cache = None
+    if args.backend == "compiled" and not args.no_cache:
+        from repro.codegen import build_cache
+
+        cache = build_cache(args.cache)
+    try:
+        report = run_profile(
+            args.design, cycles=args.cycles, seed=args.seed,
+            backend=args.backend, compare_model=args.compare_model,
+            tolerance=args.tolerance, cache=cache,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote report to {args.json}")
+    if args.compare_model and not report.model["within_tolerance"]:
+        return 1
     return 0
 
 
@@ -301,6 +341,11 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 "--degradation needs an RTL netlist; the behavioural "
                 "processor campaign has no batch lanes to quarantine"
             )
+        if args.profile:
+            raise SystemExit(
+                "--profile needs an RTL netlist; profile the behavioural "
+                "pipeline directly with 'repro profile --design processor'"
+            )
         report = run_processor_campaign(
             ProcessorCampaignConfig(cycles=args.cycles, seed=args.seed),
             progress=progress,
@@ -325,6 +370,7 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 shard_timeout=args.shard_timeout,
                 max_retries=args.max_retries,
                 degradation=args.degradation,
+                profile=args.profile,
                 backend=args.backend,
                 cache=args.cache,
             )
@@ -696,6 +742,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(a 'degradation' key next to 'metrics'); without "
                         "this flag the report stays byte-identical to the "
                         "goldens")
+    p.add_argument("--profile", action="store_true",
+                   help="attach the fault-free performance baseline of "
+                        "the target (the 'repro profile' report) as a "
+                        "'profile' key; without this flag the report "
+                        "stays byte-identical to the goldens")
     p.add_argument("--progress", action="store_true",
                    help="print progress lines while the sweep runs")
     p.add_argument("--checkpoint", default=None,
@@ -750,7 +801,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="active")
     p.add_argument("--cycles", type=int, default=5000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prometheus", action="store_true",
+                   help="emit the Prometheus text exposition format "
+                        "(0.0.4) instead of the human-readable dump")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="cycle accounting, stall attribution and model comparison "
+             "for one design (nonzero exit when --compare-model "
+             "diverges beyond tolerance)",
+    )
+    p.add_argument("--design", default="active",
+                   help="an RTL campaign target (dual_ehb, early_join, "
+                        "...), a Fig. 9 configuration, 'pipeline' (the "
+                        "Fig. 5 chain) or 'processor' (see --list)")
+    p.add_argument("--backend", choices=("auto", "scalar", "batch",
+                                         "compiled"),
+                   default="auto",
+                   help="execution engine for RTL designs (auto = "
+                        "scalar); behavioural designs always run on the "
+                        "network simulator, and the report is "
+                        "byte-identical across backends")
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=2007)
+    p.add_argument("--compare-model", action="store_true",
+                   help="also run the timed DMG abstraction: name the "
+                        "critical cycle, predict the throughput, and "
+                        "flag divergence beyond --tolerance")
+    p.add_argument("--tolerance", type=float, default=0.15,
+                   help="relative divergence accepted by --compare-model "
+                        "(default 0.15)")
+    p.add_argument("--json", default=None,
+                   help="write the deterministic JSON report here")
+    p.add_argument("--list", action="store_true",
+                   help="print the available designs and exit")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="build-cache directory for --backend compiled "
+                        "(default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/codegen)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="compile without the build cache")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "fuzz",

@@ -128,6 +128,40 @@ def max_throughput_arcs(
     return best
 
 
+def _canonical_rotation(cycle: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Lexicographically smallest rotation of a cyclic arc sequence."""
+    if not cycle:
+        return cycle
+    rotations = [cycle[i:] + cycle[:i] for i in range(len(cycle))]
+    return min(rotations)
+
+
+def critical_cycle_arcs(
+    graph: MarkedGraph, arc_delay: Mapping[str, int]
+) -> Tuple[Fraction, Tuple[str, ...]]:
+    """The throughput-bounding cycle under per-arc delays.
+
+    Argmin companion to :func:`max_throughput_arcs`: returns both the
+    minimum cycle ratio and the cycle achieving it, as a tuple of arc
+    names in canonical (lexicographically smallest) rotation.  Ties are
+    broken deterministically by (ratio, cycle length, canonical arcs),
+    so repeated runs name the same cycle.
+    """
+    m0 = graph.initial_marking
+    best: Optional[Tuple[Fraction, int, Tuple[str, ...]]] = None
+    for cycle in graph.simple_cycles():
+        d = sum(arc_delay.get(a, 0) for a in cycle)
+        if d == 0:
+            continue
+        ratio = Fraction(graph.marking_of(m0, cycle), d)
+        key = (ratio, len(cycle), _canonical_rotation(tuple(cycle)))
+        if best is None or key < best:
+            best = key
+    if best is None:
+        raise ValueError("no cycle with positive delay; bound undefined")
+    return best[0], best[2]
+
+
 def reachable_markings(
     graph: MarkedGraph,
     limit: int = 100_000,

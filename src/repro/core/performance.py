@@ -42,6 +42,7 @@ class ThroughputEstimate:
     positive_firings: Dict[str, int]
     negative_firings: Dict[str, int]
     early_firings: Dict[str, int]
+    aborted: Dict[str, int] = field(default_factory=dict)
 
     def throughput(self, node: Optional[str] = None) -> float:
         """Firings per cycle of ``node`` (or the max over nodes)."""
@@ -102,6 +103,13 @@ class TimedDMGSimulator:
        modelled as zero-latency).
 
     Nodes are single-server: at most one firing in flight per node.
+
+    Nodes named in ``combinational`` are zero-latency forwarders (pure
+    elastic control logic such as fork/join blocks): after the
+    synchronous phase they fire against the live marking to a fixpoint,
+    so a token deposited this cycle can traverse an entire combinational
+    cascade within the same cycle.  Each such node still fires at most
+    once per cycle and samples its guard once per cycle.
     """
 
     def __init__(
@@ -110,6 +118,8 @@ class TimedDMGSimulator:
         latencies: Optional[Mapping[str, LatencySampler]] = None,
         guards: Optional[Mapping[str, Guard]] = None,
         seed: int = 0,
+        combinational: Optional[Set[str]] = None,
+        eager_arcs: Optional[Set[str]] = None,
     ) -> None:
         self.graph = graph
         self._latencies: Dict[str, LatencySampler] = dict(latencies or {})
@@ -117,6 +127,20 @@ class TimedDMGSimulator:
         for node in self._guards:
             if not graph.is_early(node):
                 raise ValueError(f"guarded node {node!r} is not early-enabling")
+        self._comb: Set[str] = set(combinational or ())
+        unknown = self._comb - set(graph.nodes)
+        if unknown:
+            raise ValueError(f"combinational names unknown nodes {sorted(unknown)}")
+        clash = self._comb & set(self._latencies)
+        if clash:
+            raise ValueError(
+                f"combinational nodes cannot carry a latency sampler: {sorted(clash)}"
+            )
+        arc_names = {a.name for a in graph.arcs}
+        self._eager: Set[str] = set(eager_arcs or ())
+        unknown = self._eager - arc_names
+        if unknown:
+            raise ValueError(f"eager_arcs names unknown arcs {sorted(unknown)}")
         self.rng = random.Random(seed)
         self.reset()
 
@@ -130,6 +154,7 @@ class TimedDMGSimulator:
         self.positive_firings: Dict[str, int] = {n: 0 for n in self.graph.nodes}
         self.negative_firings: Dict[str, int] = {n: 0 for n in self.graph.nodes}
         self.early_firings: Dict[str, int] = {n: 0 for n in self.graph.nodes}
+        self.aborted: Dict[str, int] = {n: 0 for n in self.graph.nodes}
 
     # ------------------------------------------------------------------
     def _latency_of(self, node: str) -> int:
@@ -148,25 +173,50 @@ class TimedDMGSimulator:
             raise ValueError(f"guard of {node!r} required non-input arcs {unknown}")
         return required
 
+    def _forward_outputs(self, post: Set[str]) -> Set[str]:
+        """Output arcs that take part in negative enabling.
+
+        Eager (capacity-return) arcs are excluded: a backward arc going
+        low means the consumer is merely behind, not that an anti-token
+        wants to cross this node.
+        """
+        return post - self._eager
+
     def step(self) -> None:
         """Advance the simulation by one cycle."""
-        # Phase 1: completions deposit outputs.
+        # Phase 1: completions deposit outputs (eager arcs were already
+        # deposited at initiation).
         finished = [n for n, left in self._busy.items() if left <= 1]
         for node in self._busy:
             self._busy[node] -= 1
         for node in finished:
             del self._busy[node]
-            for a in set(self.graph.postset(node)) - set(self.graph.preset(node)):
+            out = set(self.graph.postset(node)) - set(self.graph.preset(node))
+            for a in out - self._eager:
                 self.marking[a] += 1
 
-        # Phase 2: initiations, evaluated against a snapshot so that all
-        # nodes see the same marking (synchronous semantics).
+        # Phase 2a: sequential initiations, evaluated against a snapshot
+        # so that all registered nodes see the same marking (synchronous
+        # semantics).
         snapshot = dict(self.marking)
         for node in self.graph.nodes:
-            if node in self._busy:
+            if node in self._comb:
                 continue
             pre = set(self.graph.preset(node))
             post = set(self.graph.postset(node))
+            fwd = self._forward_outputs(post)
+            if node in self._busy:
+                # Abort: an anti-token reached every forward output of a
+                # busy node, annihilating the computation in flight.  The
+                # firing "completes" instantly -- its deposit lands on the
+                # negative arcs -- which is where early evaluation saves
+                # the remaining latency.
+                if fwd and all(snapshot[a] < 0 for a in fwd):
+                    del self._busy[node]
+                    for a in (post - pre) - self._eager:
+                        self.marking[a] += 1
+                    self.aborted[node] += 1
+                continue
             required = self._required_inputs(node)
             if required and all(snapshot[a] > 0 for a in required):
                 early = any(snapshot[a] <= 0 for a in pre)
@@ -176,7 +226,7 @@ class TimedDMGSimulator:
                     self.early_firings[node] += 1
                 else:
                     self.positive_firings[node] += 1
-            elif post and all(snapshot[a] < 0 for a in post):
+            elif fwd and all(snapshot[a] < 0 for a in fwd):
                 # Negative firing: instantaneous anti-token counterflow.
                 for a in post - pre:
                     self.marking[a] += 1
@@ -184,15 +234,68 @@ class TimedDMGSimulator:
                     self.marking[a] -= 1
                 self.firings[node] += 1
                 self.negative_firings[node] += 1
+
+        # Phase 2b: combinational cascade.  Zero-latency nodes forward
+        # tokens within the cycle, so they fire against the *live*
+        # marking (seeing same-cycle deposits from phase 2a and from
+        # earlier cascade firings) to a fixpoint -- at most one firing
+        # per node per cycle, guards sampled once per node per cycle.
+        if self._comb:
+            order = sorted(self._comb)
+            fired: Set[str] = set()
+            required_by: Dict[str, Set[str]] = {}
+            changed = True
+            while changed:
+                changed = False
+                for node in order:
+                    if node in fired:
+                        continue
+                    pre = set(self.graph.preset(node))
+                    post = set(self.graph.postset(node))
+                    if node not in required_by:
+                        required_by[node] = self._required_inputs(node)
+                    required = required_by[node]
+                    if required and all(self.marking[a] > 0 for a in required):
+                        early = any(self.marking[a] <= 0 for a in pre)
+                        for a in pre - post:
+                            self.marking[a] -= 1
+                        for a in post - pre:
+                            self.marking[a] += 1
+                        self.firings[node] += 1
+                        if early:
+                            self.early_firings[node] += 1
+                        else:
+                            self.positive_firings[node] += 1
+                        fired.add(node)
+                        changed = True
+                    else:
+                        fwd = self._forward_outputs(post)
+                        if fwd and all(self.marking[a] < 0 for a in fwd):
+                            for a in post - pre:
+                                self.marking[a] += 1
+                            for a in pre - post:
+                                self.marking[a] -= 1
+                            self.firings[node] += 1
+                            self.negative_firings[node] += 1
+                            fired.add(node)
+                            changed = True
         self.cycle += 1
 
     def _initiate(self, node: str, pre: Set[str], post: Set[str]) -> None:
-        """Consume inputs now; outputs appear after the node's latency."""
+        """Consume inputs now; outputs appear after the node's latency.
+
+        Eager output arcs (capacity returns) are deposited at initiation:
+        an elastic buffer's slot frees when the consumer *initiates*, not
+        when it finishes.
+        """
         for a in pre - post:
             self.marking[a] -= 1
+        out = post - pre
+        for a in out & self._eager:
+            self.marking[a] += 1
         latency = self._latency_of(node)
         if latency == 1:
-            for a in post - pre:
+            for a in out - self._eager:
                 self.marking[a] += 1
         else:
             self._busy[node] = latency
@@ -207,4 +310,5 @@ class TimedDMGSimulator:
             positive_firings=dict(self.positive_firings),
             negative_firings=dict(self.negative_firings),
             early_firings=dict(self.early_firings),
+            aborted=dict(self.aborted),
         )

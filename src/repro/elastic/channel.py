@@ -65,6 +65,22 @@ class ChannelStats:
             return 0.0
         return (self.positive + self.negative + self.kills) / self.cycles
 
+    def accounting(self) -> Dict[str, int]:
+        """Cycle accounting keyed by the strict-bit category names.
+
+        The keys match the gate-level classifier used by
+        :mod:`repro.obs.analyze`, so behavioural and RTL profiles share
+        one report schema.
+        """
+        return {
+            "transfer+": self.positive,
+            "transfer-": self.negative,
+            "kill": self.kills,
+            "retry+": self.retries_pos,
+            "retry-": self.retries_neg,
+            "idle": self.idle,
+        }
+
     def rates(self) -> Dict[str, float]:
         """Per-cycle rates of the three moving events."""
         c = self.cycles or 1

@@ -133,6 +133,11 @@ class CampaignReport:
     #: harness (opt in via ``run_campaign(..., degradation=True)``);
     #: absent from the serialised report unless set.
     degradation: Optional[Dict[str, object]] = None
+    #: optional fault-free performance baseline of the target (opt in
+    #: via ``run_campaign(..., profile=True)``): the full
+    #: :mod:`repro.obs.analyze` report dict; absent from the
+    #: serialised report unless set.
+    profile: Optional[Dict[str, object]] = None
 
     def counts(self) -> Dict[str, int]:
         counts = {"detected": 0, "latent": 0, "undetected": 0, "untestable": 0}
@@ -167,6 +172,8 @@ class CampaignReport:
             d["metrics"] = self.metrics
         if self.degradation is not None:
             d["degradation"] = self.degradation
+        if self.profile is not None:
+            d["profile"] = self.profile
         return d
 
     def to_json(self) -> str:
@@ -497,6 +504,7 @@ def run_campaign(
     max_retries: int = 2,
     degrade: bool = True,
     degradation: bool = False,
+    profile: bool = False,
     backend: str = "batch",
     cache: Optional[str] = None,
 ) -> CampaignReport:
@@ -536,6 +544,13 @@ def run_campaign(
     byte-identical to the goldens.  Per-lane attribution lives in the
     coordinating process, so with ``jobs > 1`` the summary covers shard
     retries only.
+
+    ``profile`` (opt in) attaches the fault-free performance baseline
+    of the target -- the :mod:`repro.obs.analyze` cycle-accounting /
+    attribution report, run on the scalar engine for the campaign's
+    ``cycles`` and ``seed`` -- as a ``profile`` key.  Off by default
+    so the report stays byte-identical to the goldens.  Requires the
+    target to be one of the named stock targets.
 
     ``backend`` selects the lane-parallel engine: ``"batch"`` (the
     default) runs :class:`~repro.faults.batch.BatchCampaignHarness`,
@@ -624,6 +639,15 @@ def run_campaign(
         report.degradation = _degradation_summary(
             metrics, tgt.name, lanes=lanes, degrade=degrade
         )
+    if profile:
+        from repro.obs.analyze import run_profile
+
+        # The fault-free baseline always runs on the scalar engine so
+        # the key is byte-identical whatever lane/backend combination
+        # executed the sweep itself.
+        report.profile = run_profile(
+            tgt.name, cycles=cfg.cycles, seed=cfg.seed, backend="scalar"
+        ).to_dict()
     return report
 
 

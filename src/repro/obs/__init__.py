@@ -1,23 +1,37 @@
 """repro.obs -- unified observability for every simulator in the repo.
 
-Four pieces, usable separately or together:
+Five pieces, usable separately or together:
 
 * :class:`TraceRecorder` (:mod:`repro.obs.recorder`) -- cycle-stamped
   structured events from the behavioural network, the scalar RTL
-  simulator and the 64-lane batch kernel, into a bounded ring buffer
-  and pluggable sinks;
+  simulator and the word-parallel batch/compiled kernels, into a
+  bounded ring buffer and pluggable sinks;
 * exporters -- :class:`VcdSink` (GTKWave waveforms) and
   :class:`JsonlSink` (one JSON object per event);
 * :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) -- labeled
-  counters / gauges / histograms with a deterministic snapshot API;
+  counters / gauges / histograms with a deterministic snapshot API and
+  a Prometheus text renderer;
+* the **performance observatory** (:mod:`repro.obs.analyze`) --
+  per-channel cycle accounting, backpressure root-cause attribution,
+  critical-cycle analysis against the DMG model and early-evaluation
+  benefit accounting, as one deterministic JSON report;
 * profiling -- :class:`PhaseProfiler` wall-time accumulation and
   :class:`ProgressReporter` throttled progress lines.
 
 The CLI surfaces this as ``repro trace`` (waveforms + event streams),
-``repro stats`` (the metrics snapshot of a simulation) and
-``repro inject --metrics`` (campaign run metadata).
+``repro stats`` (the metrics snapshot of a simulation, ``--prometheus``
+for the exposition format), ``repro profile`` (the performance report)
+and ``repro inject --metrics/--profile`` (campaign run metadata).
 """
 
+from repro.obs.analyze import (
+    NetworkProfiler,
+    PerformanceReport,
+    RtlChannelProfiler,
+    classify_strict,
+    profile_designs,
+    run_profile,
+)
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.metrics import (
     Counter,
@@ -33,7 +47,13 @@ from repro.obs.vcd import VcdSink, VcdWriter
 
 __all__ = [
     "EVENT_KINDS",
+    "NetworkProfiler",
+    "PerformanceReport",
+    "RtlChannelProfiler",
     "TraceEvent",
+    "classify_strict",
+    "profile_designs",
+    "run_profile",
     "Counter",
     "Gauge",
     "Histogram",

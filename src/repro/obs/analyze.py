@@ -1,0 +1,1087 @@
+"""Stall attribution and throughput observatory (``repro profile``).
+
+Where :mod:`repro.obs.recorder` answers "what happened, cycle by
+cycle", this module answers "where did the cycles *go*" -- one
+deterministic JSON performance report over any of the three execution
+engines (behavioural network, scalar/batch gate-level, compiled):
+
+* **cycle accounting** -- every channel-cycle lands in exactly one of
+  the six strict-bit categories (``transfer+``/``transfer-``/``kill``/
+  ``retry+``/``retry-``/``idle``), plus token/anti-token conservation
+  totals per elastic buffer (occupancy delta must equal boundary flux,
+  the same invariant the fault-campaign monitors check online);
+* **backpressure attribution** -- each blocked Stop wire is walked
+  backwards through the asserted-Stop chain (the resilience watchdogs'
+  wait-for-graph machinery) to the root-cause wire, and the lost
+  channel-cycles are tallied per blocking sink and per root;
+* **critical-cycle analysis** -- the DMG abstraction's
+  throughput-bounding cycle is named arc by arc, the timed DMG
+  simulator predicts the throughput with early evaluation, and the
+  measured figure is compared against it (divergence beyond the
+  tolerance is *flagged*, because a protocol-level restriction the
+  abstraction cannot see -- e.g. a passive M2->W boundary -- is
+  exactly what the report should surface);
+* **EE benefit accounting** -- early firings, anti-tokens generated
+  and annihilated, and the cycles saved against a late-evaluation
+  replay of the same design (early join vs lazy join, Fig. 9 active
+  vs lazy, early vs in-order writeback).
+
+Reports are byte-identical across repeated seeded runs and across the
+``scalar``/``batch``/``compiled`` backends; per-lane stall diagnoses
+drop their backend-specific fields before serialisation to keep that
+guarantee.  Profilers constructed with ``enabled=False`` attach
+nothing, mirroring the :class:`~repro.obs.recorder.TraceRecorder`
+zero-cost no-op guarantee that the overhead benchmark locks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.obs.metrics import _canon
+from repro.rtl.logic import X
+
+__all__ = [
+    "CATEGORIES",
+    "NetworkProfiler",
+    "PerformanceReport",
+    "RtlChannelProfiler",
+    "classify_strict",
+    "model_section",
+    "profile_designs",
+    "run_profile",
+]
+
+#: the six cycle-accounting buckets (every channel-cycle lands in one)
+CATEGORIES = ("transfer+", "transfer-", "kill", "retry+", "retry-", "idle")
+
+#: no-progress window of the embedded (non-raising) stall watchdogs
+_WINDOW = 64
+
+_EMPTY: Dict[str, Set[str]] = {}
+
+
+def classify_strict(vp, sp, vn, sn) -> str:
+    """Classify one settled channel-cycle from its four wire values.
+
+    Mirrors :func:`repro.elastic.protocol.classify_dual` but never
+    raises: unknown (``X``) wires fall through to ``idle``, so the
+    classifier is safe on reset transients and fault-corrupted runs.
+    """
+    if vp == 1 and vn == 1:
+        return "kill"
+    if vp == 1 and sp == 0:
+        return "transfer+"
+    if vn == 1 and sn == 0:
+        return "transfer-"
+    if vp == 1 and sp == 1:
+        return "retry+"
+    if vn == 1 and sn == 1:
+        return "retry-"
+    return "idle"
+
+
+def _walk_root(
+    wire: str,
+    blocked: Set[str],
+    primary: Mapping[str, Set[str]],
+    fallback: Mapping[str, Set[str]],
+) -> str:
+    """Walk a blocked Stop wire back to its root cause.
+
+    From ``wire``, repeatedly step to the smallest *blocked* wire in
+    the primary dependency cone (combinational at gate level), falling
+    back to the secondary cone (cross-cycle, through latch/flop ``d``
+    pins) when the primary has none.  The walk terminates at a wire
+    none of whose dependencies are blocked -- the root -- or when it
+    would revisit a wire (a deadlock ring reports its smallest member).
+    """
+    seen = {wire}
+    node = wire
+    while True:
+        deps = sorted((primary.get(node, set()) & blocked) - seen)
+        if not deps:
+            deps = sorted((fallback.get(node, set()) & blocked) - seen)
+        if not deps:
+            return node
+        node = deps[0]
+        seen.add(node)
+
+
+def _stall_dict(diagnosis) -> Dict[str, object]:
+    """A stall diagnosis as backend-independent JSON.
+
+    The ``detail`` (names the engine) and ``lane`` fields are dropped:
+    the same stall diagnosed by the scalar and the per-lane watchdogs
+    must serialise identically for the cross-backend byte guarantee.
+    """
+    return {
+        "blocked": list(diagnosis.blocked),
+        "cycle": diagnosis.cycle,
+        "last_progress": diagnosis.last_progress,
+        "stop_cycle": list(diagnosis.stop_cycle),
+        "window": diagnosis.window,
+    }
+
+
+def _fraction(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+# ----------------------------------------------------------------------
+# Gate-level profiler (scalar, batch and compiled backends)
+# ----------------------------------------------------------------------
+class RtlChannelProfiler:
+    """Per-channel cycle accounting and stall attribution at gate level.
+
+    One instance serves all three RTL engines: :meth:`attach_scalar`
+    hooks a :class:`~repro.rtl.simulator.TwoPhaseSimulator`,
+    :meth:`attach_lane` one lane of a
+    :class:`~repro.rtl.batchsim.BatchSimulator` or
+    :class:`~repro.codegen.sim.CompiledSimulator` (all watched channel
+    wires must be in a compiled module's observed set).  With
+    ``enabled=False`` the attach methods are no-ops.
+
+    ``ee`` optionally names an early join to account:
+    ``{"output": <channel>, "inputs": [<channel>, ...]}`` -- a firing
+    of the output with some input valid missing is an early firing,
+    and each missing input owes one generated anti-token.
+    """
+
+    def __init__(self, target, enabled: bool = True, ee=None) -> None:
+        self.target = target
+        self.enabled = enabled
+        self.ee = ee
+        self.cycles = 0
+        self.counts: Dict[str, Dict[str, int]] = {
+            ch.name: {cat: 0 for cat in CATEGORIES} for ch in target.channels
+        }
+        self.lost: Dict[str, int] = {}
+        self.roots: Dict[str, Dict[str, int]] = {}
+        self.ee_fires = 0
+        self.ee_early = 0
+        self.ee_generated = 0
+        self._sim = None
+        self._lane: Optional[int] = None
+        self._fanin_comb: Dict[str, Set[str]] = {}
+        self._fanin_seq: Dict[str, Set[str]] = {}
+        self._ee_out = None
+        self._ee_ins: List = []
+
+    # -- attachment ----------------------------------------------------
+    def _prepare(self, sim, lane: Optional[int]) -> None:
+        from repro.resilience.watchdog import _fanin_cones
+
+        self._sim = sim
+        self._lane = lane
+        watched = [ch.sp for ch in self.target.channels]
+        watched += [ch.sn for ch in self.target.channels]
+        self._fanin_comb = _fanin_cones(
+            sim.netlist, watched, sequential=False
+        )
+        self._fanin_seq = _fanin_cones(sim.netlist, watched, sequential=True)
+        if self.ee is not None:
+            by_name = {ch.name: ch for ch in self.target.channels}
+            self._ee_out = by_name[self.ee["output"]]
+            self._ee_ins = [by_name[name] for name in self.ee["inputs"]]
+
+    def attach_scalar(self, sim) -> "RtlChannelProfiler":
+        """Hook a scalar two-phase simulator's end-of-cycle observers."""
+        if not self.enabled:
+            return self
+        self._prepare(sim, lane=None)
+
+        def observe(time: int, values: Dict[str, object]) -> None:
+            self._account(values)
+
+        sim.observers.append(observe)
+        return self
+
+    def attach_lane(self, sim, lane: int = 0) -> "RtlChannelProfiler":
+        """Hook one lane of a batch or compiled simulator."""
+        from repro.rtl.batchsim import strict_planes
+
+        if not self.enabled:
+            return self
+        self._prepare(sim, lane=lane)
+        wires = [w for ch in self.target.channels for w in ch.wires()]
+        bit = 1 << lane
+
+        def observe(time: int, s) -> None:
+            values: Dict[str, object] = {}
+            for wire in wires:
+                ones, zeros = strict_planes(s, wire)
+                values[wire] = 1 if ones & bit else (0 if zeros & bit else X)
+            self._account(values)
+
+        sim.observers.append(observe)
+        return self
+
+    # -- per-cycle accounting ------------------------------------------
+    def _account(self, values: Mapping[str, object]) -> None:
+        from repro.resilience.watchdog import blocked_wires
+
+        self.cycles += 1
+        for ch in self.target.channels:
+            cat = classify_strict(
+                values.get(ch.vp), values.get(ch.sp),
+                values.get(ch.vn), values.get(ch.sn),
+            )
+            self.counts[ch.name][cat] += 1
+        blocked = blocked_wires(self.target.channels, values)
+        for wire in sorted(blocked):
+            root = _walk_root(
+                wire, blocked, self._fanin_comb, self._fanin_seq
+            )
+            self.lost[wire] = self.lost.get(wire, 0) + 1
+            by_root = self.roots.setdefault(wire, {})
+            by_root[root] = by_root.get(root, 0) + 1
+        if self._ee_out is not None:
+            out = self._ee_out
+            if values.get(out.vp) == 1 and values.get(out.sp) == 0:
+                self.ee_fires += 1
+                missing = sum(
+                    1 for ch in self._ee_ins if values.get(ch.vp) != 1
+                )
+                if missing:
+                    self.ee_early += 1
+                    self.ee_generated += missing
+            return
+
+    # -- report sections -----------------------------------------------
+    def _final_state(self) -> Mapping[str, object]:
+        if self._lane is None:
+            return dict(self._sim.state)
+        return self._sim.lane_state(self._lane)
+
+    def channel_section(self) -> Dict[str, Dict[str, object]]:
+        cycles = self.cycles or 1
+        section: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self.counts):
+            counts = self.counts[name]
+            moved = counts["transfer+"] + counts["transfer-"] + counts["kill"]
+            entry: Dict[str, object] = dict(counts)
+            entry["throughput"] = _canon(moved / cycles)
+            section[name] = entry
+        return section
+
+    def conservation_section(self) -> Dict[str, object]:
+        netlist = self.target.netlist
+        buffers: Dict[str, object] = {}
+        complete = True
+        final_state = self._final_state() if self.target.ebs else {}
+        for probe in self.target.ebs:
+            initial = probe.occupancy(_initial_bits(netlist, probe))
+            final = probe.occupancy(final_state)
+            left = self.counts[probe.left.name]
+            right = self.counts[probe.right.name]
+            flux = (
+                left["transfer+"] + left["kill"] + left["transfer-"]
+                - right["transfer+"] - right["kill"] - right["transfer-"]
+            )
+            residual = (final - initial) - flux
+            if residual != 0:
+                complete = False
+            buffers[probe.prefix] = {
+                "initial": initial, "final": final,
+                "delta": final - initial, "flux": flux,
+                "residual": residual,
+            }
+        totals = _conservation_totals(self.counts.values())
+        totals["buffers"] = buffers
+        totals["complete"] = complete
+        return totals
+
+    def attribution_section(
+        self, diagnoses: Sequence = ()
+    ) -> Dict[str, object]:
+        return _attribution(self.lost, self.roots, diagnoses)
+
+    def throughput(self, channel: str) -> float:
+        counts = self.counts[channel]
+        moved = counts["transfer+"] + counts["transfer-"] + counts["kill"]
+        return moved / (self.cycles or 1)
+
+
+def _initial_bits(netlist, probe) -> Dict[str, object]:
+    """Reset values of an EB probe's state bits, from the netlist."""
+    bits: Dict[str, object] = {}
+    for sig in probe.state_bits:
+        if sig in netlist.flops:
+            bits[sig] = netlist.flops[sig].init
+        elif sig in netlist.latches:
+            bits[sig] = netlist.latches[sig].init
+    return bits
+
+
+def _conservation_totals(channel_counts) -> Dict[str, object]:
+    tokens = anti = kills = 0
+    for counts in channel_counts:
+        tokens += counts["transfer+"]
+        anti += counts["transfer-"]
+        kills += counts["kill"]
+    return {
+        "tokens_moved": tokens,
+        "anti_tokens_moved": anti,
+        "annihilated": kills,
+    }
+
+
+def _attribution(
+    lost: Mapping[str, int],
+    roots: Mapping[str, Mapping[str, int]],
+    diagnoses: Sequence,
+) -> Dict[str, object]:
+    sinks: Dict[str, object] = {}
+    for wire in sorted(lost):
+        sinks[wire] = {
+            "lost": lost[wire],
+            "roots": {r: roots[wire][r] for r in sorted(roots.get(wire, {}))},
+        }
+    return {
+        "lost_cycles": sum(lost.values()),
+        "sinks": sinks,
+        "stalls": [_stall_dict(d) for d in diagnoses],
+    }
+
+
+# ----------------------------------------------------------------------
+# Behavioural-network profiler
+# ----------------------------------------------------------------------
+class NetworkProfiler:
+    """Cycle accounting and stall attribution for an ElasticNetwork.
+
+    The channel counters come straight from each channel's
+    :class:`~repro.elastic.channel.ChannelStats` (the behavioural
+    classifier); the attribution probe and the early-join observers are
+    the only per-cycle additions.  With ``enabled=False``,
+    :meth:`attach` is a no-op.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.lost: Dict[str, int] = {}
+        self.roots: Dict[str, Dict[str, int]] = {}
+        self.joins: Dict[str, Dict[str, int]] = {}
+        self._net = None
+        self._adjacency: Dict[str, Set[str]] = {}
+        self._ebs: List = []
+        self._initial: Dict[str, int] = {}
+
+    def attach(self, net) -> "NetworkProfiler":
+        if not self.enabled:
+            return self
+        from repro.elastic.behavioral import EarlyJoin, ElasticBuffer
+        from repro.resilience.watchdog import _controller_ports
+
+        self._net = net
+        adjacency: Dict[str, Set[str]] = {}
+        for ctrl in net.controllers:
+            ports = _controller_ports(ctrl)
+            if ports is None:
+                continue
+            ins, outs = ports
+            # A full controller stops its inputs because its outputs
+            # are stopped (in.sp waits on out.sp); anti-token
+            # back-pressure flows the other way (out.sn on in.sn).
+            for i in ins:
+                adjacency.setdefault(f"{i.name}.sp", set()).update(
+                    f"{o.name}.sp" for o in outs
+                )
+            for o in outs:
+                adjacency.setdefault(f"{o.name}.sn", set()).update(
+                    f"{i.name}.sn" for i in ins
+                )
+        self._adjacency = adjacency
+        self._ebs = [
+            c for c in net.controllers if isinstance(c, ElasticBuffer)
+        ]
+        self._initial = {eb.name: eb.count for eb in self._ebs}
+        for ctrl in net.controllers:
+            if isinstance(ctrl, EarlyJoin):
+                tally = {"fires": 0, "early": 0, "generated": 0}
+                self.joins[ctrl.name] = tally
+                ctrl.output.observers.append(self._ee_observer(ctrl, tally))
+        net.add_probe(self._probe)
+        return self
+
+    def _ee_observer(self, ctrl, tally: Dict[str, int]):
+        def observe(channel) -> None:
+            out = ctrl.output
+            if not (out.vp == 1 and out.sp == 0):
+                return
+            tally["fires"] += 1
+            missing = sum(
+                1 for i, ch in enumerate(ctrl.inputs)
+                if not (ch.vp == 1 and ctrl.apend[i] == 0)
+            )
+            if missing:
+                tally["early"] += 1
+                tally["generated"] += missing
+
+        return observe
+
+    def _probe(self, net) -> None:
+        blocked: Set[str] = set()
+        for name, ch in net.channels.items():
+            if ch.vp == 1 and ch.sp == 1 and ch.vn != 1:
+                blocked.add(f"{name}.sp")
+            if ch.vn == 1 and ch.sn == 1 and ch.vp != 1:
+                blocked.add(f"{name}.sn")
+        for wire in sorted(blocked):
+            root = _walk_root(wire, blocked, self._adjacency, _EMPTY)
+            self.lost[wire] = self.lost.get(wire, 0) + 1
+            by_root = self.roots.setdefault(wire, {})
+            by_root[root] = by_root.get(root, 0) + 1
+
+    # -- report sections -----------------------------------------------
+    def channel_section(self) -> Dict[str, Dict[str, object]]:
+        net = self._net
+        section: Dict[str, Dict[str, object]] = {}
+        for name in sorted(net.channels):
+            stats = net.channels[name].stats
+            entry: Dict[str, object] = stats.accounting()
+            entry["throughput"] = _canon(stats.throughput)
+            section[name] = entry
+        return section
+
+    def conservation_section(self) -> Dict[str, object]:
+        buffers: Dict[str, object] = {}
+        complete = True
+        channels = self._net.channels
+        for eb in self._ebs:
+            initial = self._initial[eb.name]
+            final = eb.count
+            ls = channels[eb.left.name].stats
+            rs = channels[eb.right.name].stats
+            flux = (
+                ls.positive + ls.kills + ls.negative
+                - rs.positive - rs.kills - rs.negative
+            )
+            residual = (final - initial) - flux
+            if residual != 0:
+                complete = False
+            buffers[eb.name] = {
+                "initial": initial, "final": final,
+                "delta": final - initial, "flux": flux,
+                "residual": residual,
+            }
+        totals = _conservation_totals(
+            ch.stats.accounting() for ch in channels.values()
+        )
+        totals["buffers"] = buffers
+        totals["complete"] = complete
+        return totals
+
+    def attribution_section(
+        self, diagnoses: Sequence = ()
+    ) -> Dict[str, object]:
+        return _attribution(self.lost, self.roots, diagnoses)
+
+
+# ----------------------------------------------------------------------
+# Model comparison (critical cycle + timed DMG prediction)
+# ----------------------------------------------------------------------
+def model_section(
+    spec,
+    reference: str,
+    measured: float,
+    cycles: int,
+    seed: int,
+    tolerance: float,
+    guards=None,
+    mean_latency=None,
+) -> Dict[str, object]:
+    """Compare a measured throughput against the DMG abstraction.
+
+    Names the critical (throughput-bounding) cycle of the abstraction
+    -- ``structural`` when a latency-weighted cycle binds below one
+    firing per clock, else ``clock`` with unit arc delays -- then runs
+    the timed DMG simulator (early-evaluation guards, variable
+    latencies, eager capacity-return arcs) for the same ``cycles`` and
+    ``seed`` and reports the divergence of the measurement from that
+    prediction.  Divergence beyond ``tolerance`` is flagged, not
+    hidden: a protocol-level effect the abstraction cannot express
+    (e.g. a passive boundary restricting counterflow) shows up here.
+    """
+    from repro.core.analysis import critical_cycle_arcs
+    from repro.core.performance import TimedDMGSimulator
+    from repro.synthesis.abstraction import spec_to_dmg, throughput_bound
+
+    graph, lat = spec_to_dmg(spec, mean_latency)
+
+    def forward(arc) -> bool:
+        return not (arc.name.startswith("~") or arc.name.startswith("env:"))
+
+    delays = {a.name: lat.get(a.src, 0) for a in graph.arcs if forward(a)}
+    limit = "structural"
+    try:
+        ratio, arcs = critical_cycle_arcs(graph, delays)
+    except ValueError:
+        ratio = None
+        arcs = ()
+    if ratio is None or ratio >= 1:
+        # No latency-weighted cycle binds below one firing per clock:
+        # the clock itself is the limit.  Name the bounding cycle with
+        # unit delays on the forward arcs (every hop costs one cycle).
+        limit = "clock"
+        ratio, arcs = critical_cycle_arcs(
+            graph, {a.name: 1 for a in graph.arcs if forward(a)}
+        )
+    bound = min(ratio, Fraction(1))
+
+    # Sources and sinks model the eager environment: they must not add
+    # pipeline latency of their own (the env-closure arc already
+    # carries the environment's token budget), so they evaluate
+    # combinationally.  Registers keep the default one-cycle latency.
+    comb = {b.name for b in spec.blocks.values() if b.latency is None}
+    comb |= set(spec.sources) | set(spec.sinks)
+    samplers = {
+        b.name: b.latency
+        for b in spec.blocks.values() if b.latency is not None
+    }
+    eager = {a.name for a in graph.arcs if a.name.startswith("~")}
+    sim = TimedDMGSimulator(
+        graph, latencies=samplers, guards=guards or {}, seed=seed,
+        combinational=comb, eager_arcs=eager,
+    )
+    estimate = sim.run(cycles)
+    predicted = estimate.throughput(graph.arc(reference).src)
+    try:
+        lazy = min(throughput_bound(spec, mean_latency), Fraction(1))
+    except ValueError:
+        # No latency-weighted cycle at all: the lazy system is
+        # clock-limited too.
+        lazy = Fraction(1)
+    if predicted > 0:
+        divergence = abs(measured - predicted) / predicted
+    else:
+        divergence = 0.0 if measured == 0 else math.inf
+    finite = math.isfinite(divergence)
+    return {
+        "reference": reference,
+        "critical_cycle": {
+            "arcs": list(arcs),
+            "ratio": _fraction(ratio),
+            "throughput": _canon(float(bound)),
+            "limit": limit,
+        },
+        "lazy_bound": _fraction(lazy),
+        "predicted_throughput": _canon(predicted),
+        "measured_throughput": _canon(measured),
+        "divergence": _canon(divergence) if finite else "inf",
+        "tolerance": _canon(tolerance),
+        "within_tolerance": bool(finite and divergence <= tolerance),
+        "beats_lazy_bound": bool(measured > float(lazy) + 1e-9),
+    }
+
+
+# ----------------------------------------------------------------------
+# The performance report
+# ----------------------------------------------------------------------
+@dataclass
+class PerformanceReport:
+    """One profiled run, ready for JSON or human rendering."""
+
+    design: str
+    backend: str
+    cycles: int
+    seed: int
+    channels: Dict[str, Dict[str, object]]
+    conservation: Dict[str, object]
+    attribution: Dict[str, object]
+    ee: Optional[Dict[str, object]] = None
+    model: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "design": self.design,
+            "backend": self.backend,
+            "cycles": self.cycles,
+            "seed": self.seed,
+            "channels": self.channels,
+            "conservation": self.conservation,
+            "attribution": self.attribution,
+        }
+        if self.ee is not None:
+            out["ee"] = self.ee
+        if self.model is not None:
+            out["model"] = self.model
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        lines = [
+            f"profile: {self.design} "
+            f"({self.backend}, {self.cycles} cycles, seed {self.seed})",
+            f"{'channel':16s} {'Th':>6s} "
+            f"{'t+':>6s} {'t-':>6s} {'kill':>6s} "
+            f"{'r+':>6s} {'r-':>6s} {'idle':>6s}",
+        ]
+        for name, entry in self.channels.items():
+            lines.append(
+                f"{name:16s} {entry['throughput']:>6} "
+                f"{entry['transfer+']:>6d} {entry['transfer-']:>6d} "
+                f"{entry['kill']:>6d} {entry['retry+']:>6d} "
+                f"{entry['retry-']:>6d} {entry['idle']:>6d}"
+            )
+        cons = self.conservation
+        lines.append(
+            f"conservation: {cons['tokens_moved']} tokens, "
+            f"{cons['anti_tokens_moved']} anti-tokens, "
+            f"{cons['annihilated']} annihilated "
+            f"({'OK' if cons['complete'] else 'RESIDUAL'})"
+        )
+        attr = self.attribution
+        lines.append(f"backpressure: {attr['lost_cycles']} lost channel-cycles")
+        for wire, entry in attr["sinks"].items():
+            roots = ", ".join(
+                f"{r} x{n}" for r, n in entry["roots"].items()
+            )
+            lines.append(f"  {wire}: {entry['lost']} lost (root: {roots})")
+        for stall in attr["stalls"]:
+            where = (
+                " -> ".join(stall["stop_cycle"]) or
+                (stall["blocked"][-1] if stall["blocked"] else "?")
+            )
+            lines.append(
+                f"  stall at cycle {stall['cycle']}: {where}"
+            )
+        if self.ee is not None:
+            for name, j in self.ee["joins"].items():
+                lines.append(
+                    f"ee[{name}]: {j['fires']} firings, {j['early']} early, "
+                    f"{j['anti_tokens_generated']} anti-tokens generated"
+                )
+            lines.append(
+                f"ee: {self.ee['anti_tokens_annihilated']} anti-tokens "
+                f"annihilated"
+            )
+            replay = self.ee.get("late_replay")
+            if replay is not None:
+                lines.append(
+                    f"ee: late replay ({replay['design']}) Th="
+                    f"{replay['throughput']}; {replay['cycles_saved']} "
+                    f"cycle(s) saved over {replay['tokens']} tokens"
+                )
+        if self.model is not None:
+            m = self.model
+            cc = m["critical_cycle"]
+            verdict = "OK" if m["within_tolerance"] else "DIVERGED"
+            lines.append(
+                f"model: critical cycle [{' '.join(cc['arcs'])}] "
+                f"ratio {cc['ratio']} ({cc['limit']}-limited)"
+            )
+            lines.append(
+                f"model: predicted {m['predicted_throughput']} vs measured "
+                f"{m['measured_throughput']} on {m['reference']} "
+                f"(divergence {m['divergence']}, tolerance "
+                f"{m['tolerance']}): {verdict}"
+                + (" [beats lazy bound "
+                   f"{m['lazy_bound']}]" if m["beats_lazy_bound"] else "")
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Design registry: mirrors, guards and references per profile design
+# ----------------------------------------------------------------------
+_RTL_REFERENCE = {
+    "dual_ehb": "R", "dual_ehb_latches": "R", "join": "Z",
+    "early_join": "Z", "fork": "O0", "passive": "D", "vl": "R",
+}
+
+_RTL_EE = {"early_join": {"output": "Z", "inputs": ["I0", "I1"]}}
+
+#: late-evaluation replay twin of each early design
+_RTL_LATE_TWIN = {"early_join": "join"}
+
+_FIG9_CONFIGS = ("active", "no_buffer", "passive_f3w", "passive_m2w", "lazy")
+
+_NETWORK_DESIGNS = ("pipeline", "processor") + _FIG9_CONFIGS
+
+#: Fig. 9 mean VL latencies (E[M1] = .8*2 + .2*10, E[M2] = .5*1 + .5*2)
+_FIG9_MEAN = {"M1": 3.6, "M2": 1.5}
+
+
+def profile_designs() -> List[str]:
+    """Every design name :func:`run_profile` accepts."""
+    from repro.faults.targets import TARGETS
+
+    return sorted(TARGETS) + sorted(_NETWORK_DESIGNS)
+
+
+def _mirror_spec(design: str):
+    """The SystemSpec mirror of one RTL campaign target.
+
+    Connection names equal the RTL channel names, so the model section
+    names arcs the profiled channels map onto directly.  Returns
+    ``(spec, guards, mean_latency)`` for :func:`model_section`.
+    """
+    from repro.core.performance import fixed_latency, select_guard
+    from repro.elastic.ee import ThresholdEE
+    from repro.synthesis.spec import SystemSpec
+
+    spec = SystemSpec(f"mirror[{design}]")
+    guards: Dict[str, object] = {}
+    mean: Dict[str, float] = {}
+    if design in ("dual_ehb", "dual_ehb_latches"):
+        spec.add_source("src")
+        spec.add_sink("snk")
+        spec.add_register("eb")
+        spec.connect(spec.source("src"), spec.register_in("eb"), name="L")
+        spec.connect(spec.register_out("eb"), spec.sink("snk"), name="R")
+    elif design in ("join", "early_join"):
+        spec.add_source("src0")
+        spec.add_source("src1")
+        spec.add_sink("snk")
+        ee = ThresholdEE(1, 2) if design == "early_join" else None
+        spec.add_block("j", n_inputs=2, ee=ee)
+        spec.connect(spec.source("src0"), spec.block_in("j", 0), name="I0")
+        spec.connect(spec.source("src1"), spec.block_in("j", 1), name="I1")
+        spec.connect(spec.block_out("j"), spec.sink("snk"), name="Z")
+        if design == "early_join":
+            guards["j"] = select_guard({"I0": 0.5, "I1": 0.5})
+    elif design == "fork":
+        spec.add_source("src")
+        spec.add_sink("snk0")
+        spec.add_sink("snk1")
+        spec.add_block("f", n_outputs=2)
+        spec.connect(spec.source("src"), spec.block_in("f"), name="I")
+        spec.connect(spec.block_out("f", 0), spec.sink("snk0"), name="O0")
+        spec.connect(spec.block_out("f", 1), spec.sink("snk1"), name="O1")
+    elif design == "passive":
+        spec.add_source("src")
+        spec.add_sink("snk")
+        spec.add_block("p")
+        spec.connect(spec.source("src"), spec.block_in("p"), name="U")
+        spec.connect(spec.block_out("p"), spec.sink("snk"), name="D",
+                     passive=True)
+    elif design == "vl":
+        spec.add_source("src")
+        spec.add_sink("snk")
+        spec.add_block("vl", latency=fixed_latency(2))
+        spec.connect(spec.source("src"), spec.block_in("vl"), name="L")
+        spec.connect(spec.block_out("vl"), spec.sink("snk"), name="R")
+        mean["vl"] = 2.0
+    else:  # pragma: no cover - registry and TARGETS move together
+        raise ValueError(f"no mirror spec for {design!r}")
+    return spec, guards, mean
+
+
+def _fig9_guards(spec) -> Dict[str, object]:
+    """The W multiplexer's firing guard: select plus one chosen operand."""
+    from repro.core.performance import select_guard
+
+    if not spec.blocks["W"].is_early:
+        return {}
+    inner = select_guard({"I->W": 0.6, "F3->W": 0.3, "M->W": 0.1})
+
+    def w_guard(rng):
+        return {"C->W"} | inner(rng)
+
+    return {"W": w_guard}
+
+
+# ----------------------------------------------------------------------
+# Profile drivers
+# ----------------------------------------------------------------------
+def _eager_stimulus(free_inputs: Sequence[str]) -> Dict[str, int]:
+    """The eager environment: always offer, never stall, never kill."""
+    return {
+        name: 1 if name.endswith(".choice") or name.endswith(".done") else 0
+        for name in free_inputs
+    }
+
+
+def _run_rtl(target, cycles: int, backend: str, cache, ee):
+    """Drive one RTL engine for ``cycles``; returns (profiler, stalls)."""
+    from repro.resilience.watchdog import BatchStallWatchdog, RtlStallWatchdog
+
+    profiler = RtlChannelProfiler(target, ee=ee)
+    stimulus = _eager_stimulus(target.free_inputs)
+    if backend == "scalar":
+        from repro.rtl.simulator import TwoPhaseSimulator
+
+        sim = TwoPhaseSimulator(target.netlist)
+        profiler.attach_scalar(sim)
+        watchdog = RtlStallWatchdog.for_target(
+            target, sim, window=_WINDOW, raise_on_stall=False
+        )
+        for _ in range(cycles):
+            sim.cycle(stimulus)
+    elif backend in ("batch", "compiled"):
+        from repro.rtl.batchsim import broadcast
+
+        if backend == "batch":
+            from repro.rtl.batchsim import BatchSimulator
+
+            sim = BatchSimulator(target.netlist, lanes=1)
+        else:
+            from repro.codegen.sim import CompiledSimulator
+
+            sim = CompiledSimulator(
+                target.netlist, lanes=1, hooks=frozenset(),
+                observe=frozenset(target.observe), cache=cache,
+            )
+        profiler.attach_lane(sim, 0)
+        watchdog = BatchStallWatchdog.for_target(
+            target, sim, window=_WINDOW, raise_on_stall=False
+        )
+        planes = {
+            name: broadcast(value, 1) for name, value in stimulus.items()
+        }
+        for _ in range(cycles):
+            sim.cycle(planes)
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; "
+            "pick scalar, batch, compiled or auto"
+        )
+    return profiler, watchdog.diagnoses
+
+
+def _profile_rtl(
+    design: str, cycles: int, seed: int, backend: str,
+    compare_model: bool, tolerance: float, cache,
+) -> PerformanceReport:
+    from repro.faults.targets import TARGETS
+
+    target = TARGETS[design]()
+    reference = _RTL_REFERENCE[design]
+    ee_spec = _RTL_EE.get(design)
+    profiler, diagnoses = _run_rtl(target, cycles, backend, cache, ee_spec)
+    measured = profiler.throughput(reference)
+
+    ee_section = None
+    if ee_spec is not None:
+        twin_name = _RTL_LATE_TWIN[design]
+        twin, _ = _run_rtl(
+            TARGETS[twin_name](), cycles, backend, cache, None
+        )
+        lazy_th = twin.throughput(_RTL_REFERENCE[twin_name])
+        tokens = profiler.counts[reference]["transfer+"]
+        ee_section = {
+            "joins": {
+                ee_spec["output"]: {
+                    "fires": profiler.ee_fires,
+                    "early": profiler.ee_early,
+                    "anti_tokens_generated": profiler.ee_generated,
+                },
+            },
+            "anti_tokens_annihilated": sum(
+                c["kill"] for c in profiler.counts.values()
+            ),
+            "late_replay": _late_replay(twin_name, lazy_th, tokens, cycles),
+        }
+
+    model = None
+    if compare_model:
+        spec, guards, mean = _mirror_spec(design)
+        model = model_section(
+            spec, reference, measured, cycles, seed, tolerance,
+            guards=guards, mean_latency=mean,
+        )
+    return PerformanceReport(
+        design=design, backend=backend, cycles=cycles, seed=seed,
+        channels=profiler.channel_section(),
+        conservation=profiler.conservation_section(),
+        attribution=profiler.attribution_section(diagnoses),
+        ee=ee_section, model=model,
+    )
+
+
+def _late_replay(
+    twin: str, lazy_th: float, tokens: int, cycles: int
+) -> Dict[str, object]:
+    """Cycles the early design saved over its late-evaluation twin."""
+    if lazy_th > 0:
+        saved = max(0, math.ceil(tokens / lazy_th) - cycles)
+    else:
+        saved = 0
+    return {
+        "design": twin,
+        "throughput": _canon(lazy_th),
+        "tokens": tokens,
+        "cycles_saved": saved,
+    }
+
+
+def _pipeline_network(seed: int):
+    """The deterministic Fig. 5 dual-EB chain (as ``repro trace``)."""
+    from repro.elastic.behavioral import (
+        ElasticBuffer,
+        ElasticNetwork,
+        Sink,
+        Source,
+    )
+
+    net = ElasticNetwork("fig5")
+    din = net.add_channel("Din")
+    mid = net.add_channel("mid")
+    dout = net.add_channel("Dout")
+    net.add(Source("src", din))
+    net.add(ElasticBuffer("EB0", din, mid, initial_tokens=1,
+                          initial_data=["t0"]))
+    net.add(ElasticBuffer("EB1", mid, dout))
+    net.add(Sink("snk", dout))
+    return net
+
+
+def _pipeline_spec():
+    from repro.synthesis.spec import SystemSpec
+
+    spec = SystemSpec("mirror[pipeline]")
+    spec.add_source("src")
+    spec.add_sink("snk")
+    spec.add_register("EB0", initial_tokens=1, initial_data=["t0"])
+    spec.add_register("EB1")
+    spec.connect(spec.source("src"), spec.register_in("EB0"), name="Din")
+    spec.connect(spec.register_out("EB0"), spec.register_in("EB1"),
+                 name="mid")
+    spec.connect(spec.register_out("EB1"), spec.sink("snk"), name="Dout")
+    return spec
+
+
+def _profile_network(
+    design: str, cycles: int, seed: int,
+    compare_model: bool, tolerance: float,
+) -> PerformanceReport:
+    from repro.resilience.watchdog import NetworkStallWatchdog
+
+    spec = None
+    guards: Dict[str, object] = {}
+    mean: Optional[Dict[str, float]] = None
+    twin_builder = None
+    if design == "pipeline":
+        net = _pipeline_network(seed)
+        reference = "Din"
+        spec = _pipeline_spec()
+    elif design == "processor":
+        from repro.casestudy.processor import ProcessorConfig, build_processor
+
+        net, _, _ = build_processor(ProcessorConfig(seed=seed))
+        reference = "wb"
+        if compare_model:
+            raise ValueError(
+                "the processor case study has no DMG abstraction; "
+                "run it without --compare-model"
+            )
+
+        def twin_builder():
+            twin, _, _ = build_processor(
+                ProcessorConfig(seed=seed, early_writeback=False)
+            )
+            return twin
+    else:
+        from repro.casestudy.fig9 import Config, build_fig9_spec
+        from repro.synthesis.elaborate import to_behavioral
+
+        config = Config[design.upper()]
+        spec = build_fig9_spec(config, seed=seed)
+        net = to_behavioral(spec, seed=seed)
+        reference = "Din->S"
+        guards = _fig9_guards(spec)
+        mean = _FIG9_MEAN
+        if config is not Config.LAZY:
+
+            def twin_builder():
+                return to_behavioral(
+                    build_fig9_spec(Config.LAZY, seed=seed), seed=seed
+                )
+
+    profiler = NetworkProfiler().attach(net)
+    watchdog = NetworkStallWatchdog(
+        window=_WINDOW, raise_on_stall=False
+    ).attach(net)
+    net.run(cycles)
+    measured = net.throughput(reference)
+
+    ee_section = None
+    if profiler.joins:
+        ee_section = {
+            "joins": {
+                name: {
+                    "fires": tally["fires"],
+                    "early": tally["early"],
+                    "anti_tokens_generated": tally["generated"],
+                }
+                for name, tally in sorted(profiler.joins.items())
+            },
+            "anti_tokens_annihilated": sum(
+                ch.stats.kills for ch in net.channels.values()
+            ),
+        }
+        if twin_builder is not None:
+            twin = twin_builder()
+            twin.run(cycles)
+            lazy_th = twin.throughput(reference)
+            tokens = net.channels[reference].stats.positive
+            twin_name = (
+                "lazy" if design in _FIG9_CONFIGS else "in_order_writeback"
+            )
+            ee_section["late_replay"] = _late_replay(
+                twin_name, lazy_th, tokens, cycles
+            )
+
+    model = None
+    if compare_model:
+        if spec is None:  # pragma: no cover - processor raised above
+            raise ValueError(f"no model for {design!r}")
+        model = model_section(
+            spec, reference, measured, cycles, seed, tolerance,
+            guards=guards, mean_latency=mean,
+        )
+    return PerformanceReport(
+        design=design, backend="network", cycles=cycles, seed=seed,
+        channels=profiler.channel_section(),
+        conservation=profiler.conservation_section(),
+        attribution=profiler.attribution_section(watchdog.diagnoses),
+        ee=ee_section, model=model,
+    )
+
+
+def run_profile(
+    design: str,
+    cycles: int = 2000,
+    seed: int = 2007,
+    backend: str = "auto",
+    compare_model: bool = False,
+    tolerance: float = 0.15,
+    cache=None,
+) -> PerformanceReport:
+    """Profile one design end to end; the ``repro profile`` entry point.
+
+    ``design`` is an RTL campaign target (scalar/batch/compiled
+    backends under the eager environment), a Fig. 9 configuration,
+    ``pipeline`` (the Fig. 5 chain) or ``processor`` (both behavioural;
+    the backend must stay ``auto``).  The report is byte-identical
+    across repeated runs and across the three RTL backends.
+    """
+    if design in _NETWORK_DESIGNS:
+        if backend not in ("auto", "network"):
+            raise ValueError(
+                f"design {design!r} runs on the behavioural network; "
+                "drop the --backend override"
+            )
+        return _profile_network(
+            design, cycles, seed, compare_model, tolerance
+        )
+    from repro.faults.targets import TARGETS
+
+    if design not in TARGETS:
+        raise ValueError(
+            f"unknown design {design!r}; pick one of "
+            f"{', '.join(profile_designs())}"
+        )
+    if backend == "auto":
+        backend = "scalar"
+    return _profile_rtl(
+        design, cycles, seed, backend, compare_model, tolerance, cache
+    )

@@ -24,6 +24,7 @@ Design points:
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,27 @@ __all__ = [
     "SummaryStats",
     "summarize",
 ]
+
+
+def _canon(value):
+    """Canonicalise a number for byte-stable snapshot rendering.
+
+    Python floats and ints that compare equal render differently in
+    JSON (``3`` vs ``3.0``), so a snapshot's bytes would depend on
+    whether a sample arrived as ``int`` or ``float``.  Integral values
+    collapse to ``int``; everything else rounds to 6 decimal places
+    (which also keeps ``repr`` round-trips stable across platforms).
+    """
+    try:
+        f = float(value)
+    except (TypeError, ValueError):
+        return value
+    if math.isnan(f) or math.isinf(f):
+        return value
+    r = round(f, 6)
+    if r.is_integer():
+        return int(r)
+    return r
 
 
 @dataclass(frozen=True)
@@ -79,6 +101,31 @@ def _render_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def _prom_name(name: str) -> str:
+    """A valid Prometheus metric/label name ([a-zA-Z_:][a-zA-Z0-9_:]*)."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in labels)
+    return f"{{{inner}}}"
+
+
+def _prom_number(value) -> str:
+    canonical = _canon(value)
+    return repr(canonical) if isinstance(canonical, float) else str(canonical)
 
 
 class Metric:
@@ -149,10 +196,10 @@ class Gauge(Metric):
 
     def snapshot(self) -> Dict[str, float]:
         return {
-            "last": self.last if self.last is not None else 0.0,
-            "mean": round(self.mean, 6),
-            "min": self.minimum if self.minimum is not None else 0.0,
-            "max": self.maximum if self.maximum is not None else 0.0,
+            "last": _canon(self.last if self.last is not None else 0),
+            "mean": _canon(self.mean),
+            "min": _canon(self.minimum if self.minimum is not None else 0),
+            "max": _canon(self.maximum if self.maximum is not None else 0),
             "n": self.count,
         }
 
@@ -176,10 +223,10 @@ class Histogram(Metric):
         s = self.stats()
         return {
             "count": s.count,
-            "mean": round(s.mean, 6),
-            "p50": s.p50,
-            "p95": s.p95,
-            "max": s.maximum,
+            "mean": _canon(s.mean),
+            "p50": _canon(s.p50),
+            "p95": _canon(s.p95),
+            "max": _canon(s.maximum),
         }
 
 
@@ -227,6 +274,41 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, object]:
         """All series as a flat, deterministically ordered dict."""
         return {m.key: m.snapshot() for m in self}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4) of every series.
+
+        Counters render as ``counter``, gauges as ``gauge`` (their last
+        sample), histograms as ``summary`` with ``quantile="0.5"`` /
+        ``quantile="0.95"`` series plus ``_sum`` and ``_count``.  Output
+        is deterministic: groups sorted by (name, kind), series sorted
+        by label key, numbers canonicalised via the same rule as
+        :meth:`snapshot`.
+        """
+        groups: Dict[Tuple[str, str], List[Metric]] = {}
+        for metric in self:
+            groups.setdefault((metric.name, metric.kind), []).append(metric)
+        lines: List[str] = []
+        for (name, kind) in sorted(groups):
+            pname = _prom_name(name)
+            ptype = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}[kind]
+            lines.append(f"# TYPE {pname} {ptype}")
+            for metric in groups[(name, kind)]:
+                labels = list(metric.labels)
+                if kind == "counter":
+                    lines.append(f"{pname}{_prom_labels(labels)} {_prom_number(metric.value)}")
+                elif kind == "gauge":
+                    last = metric.last if metric.last is not None else 0
+                    lines.append(f"{pname}{_prom_labels(labels)} {_prom_number(last)}")
+                else:
+                    s = metric.stats()
+                    for q, v in (("0.5", s.p50), ("0.95", s.p95)):
+                        qlabels = labels + [("quantile", q)]
+                        lines.append(f"{pname}{_prom_labels(qlabels)} {_prom_number(v)}")
+                    total = sum(metric.samples)
+                    lines.append(f"{pname}_sum{_prom_labels(labels)} {_prom_number(total)}")
+                    lines.append(f"{pname}_count{_prom_labels(labels)} {s.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def render(self) -> str:
         """Human-readable sorted dump of every series."""

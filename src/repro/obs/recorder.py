@@ -238,25 +238,43 @@ class TraceRecorder:
 
     def attach_batch(self, sim, watch: Sequence[str],
                      lane: int = 0) -> "TraceRecorder":
-        """Hook one lane of a :class:`BatchSimulator` on a watch list.
+        """Hook one lane of a batch or compiled simulator on a watch list.
 
         Produces the same edge/x-onset stream the scalar attachment
-        yields for an equivalent run of that lane.
+        yields for an equivalent run of that lane.  Works on
+        :class:`~repro.rtl.batchsim.BatchSimulator` and on
+        :class:`~repro.codegen.sim.CompiledSimulator`: every watched
+        net is validated through ``planes()`` at attach time, so a net
+        missing from a compiled module's observed set fails loudly here
+        instead of silently tracing a stale slot.
         """
         if not self.enabled:
             return self
         watch = list(watch)
         for net in watch:
             self._declare(net)
+            sim.planes(net)  # raises for unobserved compiled nets
         slots = [(net, sim.slot(net)) for net in watch]
         bit = 1 << lane
-        v, k = sim.value_planes, sim.known_planes
         prev: Dict[str, object] = {}
+        # Fast path: plane storage exposing plain Python ints (the
+        # batch kernel always, the compiled backend's int
+        # representation).  Other representations (numpy planes) go
+        # through the per-net planes() accessor.
+        v, k = sim.value_planes, sim.known_planes
+        direct = all(
+            isinstance(v[slot], int) and isinstance(k[slot], int)
+            for _, slot in slots
+        )
 
-        def observe(time: int, _sim) -> None:
+        def observe(time: int, s) -> None:
             for net, slot in slots:
-                if k[slot] & bit:
-                    new: object = 1 if v[slot] & bit else 0
+                if direct:
+                    nv, nk = v[slot], k[slot]
+                else:
+                    nv, nk = s.planes(net)
+                if nk & bit:
+                    new: object = 1 if nv & bit else 0
                 else:
                     new = X
                 old = prev.get(net, X)

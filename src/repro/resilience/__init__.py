@@ -36,6 +36,7 @@ from repro.resilience.supervisor import (
     SupervisorConfig,
 )
 from repro.resilience.watchdog import (
+    BatchStallWatchdog,
     NetworkStallWatchdog,
     RtlStallWatchdog,
     StallDiagnosis,
@@ -43,6 +44,7 @@ from repro.resilience.watchdog import (
 )
 
 __all__ = [
+    "BatchStallWatchdog",
     "CheckpointError",
     "CheckpointMismatch",
     "CheckpointStore",

@@ -40,6 +40,7 @@ from repro.rtl.netlist import Netlist
 from repro.rtl.toposort import canonical_cycle, order_or_cycle
 
 __all__ = [
+    "BatchStallWatchdog",
     "NetworkStallWatchdog",
     "RtlStallWatchdog",
     "StallDiagnosis",
@@ -72,19 +73,23 @@ class StallDiagnosis:
     stop_cycle: Tuple[str, ...]
     blocked: Tuple[str, ...]
     detail: str
+    lane: Optional[int] = None
 
     def to_event(self) -> TraceEvent:
+        extra = {
+            "window": self.window,
+            "last_progress": self.last_progress,
+            "stop_cycle": list(self.stop_cycle),
+            "blocked": list(self.blocked),
+            "detail": self.detail,
+        }
+        if self.lane is not None:
+            extra["lane"] = self.lane
         return TraceEvent(
             cycle=self.cycle,
             kind="stall",
             subject="watchdog",
-            extra={
-                "window": self.window,
-                "last_progress": self.last_progress,
-                "stop_cycle": list(self.stop_cycle),
-                "blocked": list(self.blocked),
-                "detail": self.detail,
-            },
+            extra=extra,
         )
 
     def __str__(self) -> str:
@@ -95,9 +100,10 @@ class StallDiagnosis:
             shape = f"stalled behind {self.blocked[-1]}"
         else:
             shape = "no blocked wire identified"
+        where = f"lane {self.lane}: " if self.lane is not None else ""
         return (
-            f"no progress for {self.cycle - self.last_progress} cycles "
-            f"(window {self.window}, last progress at cycle "
+            f"{where}no progress for {self.cycle - self.last_progress} "
+            f"cycles (window {self.window}, last progress at cycle "
             f"{self.last_progress}): {shape}"
         )
 
@@ -351,31 +357,156 @@ class RtlStallWatchdog:
         self.last_progress = time
 
     def _diagnose(self, time: int, values: Dict[str, object]) -> StallDiagnosis:
-        blocked: Set[str] = set()
-        for ch in self.channels:
-            vp, sp = values.get(ch.vp), values.get(ch.sp)
-            vn, sn = values.get(ch.vn), values.get(ch.sn)
-            if vp == 1 and sp == 1 and vn != 1:
-                blocked.add(ch.sp)
-            if vn == 1 and sn == 1 and vp != 1:
-                blocked.add(ch.sn)
-        waits_on: Dict[str, Tuple[str, ...]] = {}
-        for fanin in (self._fanin_comb, self._fanin_seq):
-            for wire in blocked:
-                # A wire's own fan-in (its retry state looping through
-                # a flop) is "still stalled", not a wait-on edge.
-                deps = tuple(
-                    sorted((fanin.get(wire, set()) & blocked) - {wire})
-                )
-                if deps:
-                    waits_on[wire] = deps
-            if waits_on:
-                break
-        return _diagnose(
-            time, self.window, self.last_progress, sorted(blocked),
-            waits_on,
+        return _diagnose_rtl(
+            self.channels, values, self._fanin_comb, self._fanin_seq,
+            time, self.window, self.last_progress,
             detail=f"netlist {self.sim.netlist.name!r}",
         )
+
+
+def blocked_wires(channels: Sequence, values: Dict[str, object]) -> Set[str]:
+    """Stop wires asserted against a pending token/anti-token."""
+    blocked: Set[str] = set()
+    for ch in channels:
+        vp, sp = values.get(ch.vp), values.get(ch.sp)
+        vn, sn = values.get(ch.vn), values.get(ch.sn)
+        if vp == 1 and sp == 1 and vn != 1:
+            blocked.add(ch.sp)
+        if vn == 1 and sn == 1 and vp != 1:
+            blocked.add(ch.sn)
+    return blocked
+
+
+def _diagnose_rtl(
+    channels: Sequence,
+    values: Dict[str, object],
+    fanin_comb: Dict[str, Set[str]],
+    fanin_seq: Dict[str, Set[str]],
+    time: int,
+    window: int,
+    last_progress: int,
+    detail: str,
+    lane: Optional[int] = None,
+) -> StallDiagnosis:
+    """Gate-level wait-for-graph diagnosis shared by all RTL watchdogs."""
+    blocked = blocked_wires(channels, values)
+    waits_on: Dict[str, Tuple[str, ...]] = {}
+    for fanin in (fanin_comb, fanin_seq):
+        for wire in blocked:
+            # A wire's own fan-in (its retry state looping through
+            # a flop) is "still stalled", not a wait-on edge.
+            deps = tuple(
+                sorted((fanin.get(wire, set()) & blocked) - {wire})
+            )
+            if deps:
+                waits_on[wire] = deps
+        if waits_on:
+            break
+    diagnosis = _diagnose(
+        time, window, last_progress, sorted(blocked), waits_on, detail
+    )
+    if lane is None:
+        return diagnosis
+    return StallDiagnosis(
+        cycle=diagnosis.cycle, window=diagnosis.window,
+        last_progress=diagnosis.last_progress,
+        stop_cycle=diagnosis.stop_cycle, blocked=diagnosis.blocked,
+        detail=diagnosis.detail, lane=lane,
+    )
+
+
+class BatchStallWatchdog:
+    """Per-lane no-progress watchdog for the word-parallel simulators.
+
+    Works on both :class:`~repro.rtl.batchsim.BatchSimulator` and the
+    compiled :class:`~repro.codegen.sim.CompiledSimulator` (the watched
+    channel wires must be in the compiled module's observed set).  The
+    progress/pending criterion of :class:`RtlStallWatchdog` is evaluated
+    word-wide -- one strict-bit mask operation per channel covers every
+    lane -- and each lane keeps its own last-progress cycle.  When a
+    lane's window expires, that lane's view of the netlist is extracted
+    (:meth:`lane_values`) and diagnosed through the same wait-for-graph
+    walk as the scalar watchdog, yielding a :class:`StallDiagnosis`
+    tagged with the lane index.
+    """
+
+    def __init__(
+        self,
+        sim,
+        channels: Sequence,
+        window: int = 32,
+        sink: Optional[Callable[[TraceEvent], None]] = None,
+        on_stall: Optional[Callable[[StallDiagnosis], None]] = None,
+        raise_on_stall: bool = True,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.sim = sim
+        self.channels = list(channels)
+        self.window = window
+        self.sink = sink
+        self.on_stall = on_stall
+        self.raise_on_stall = raise_on_stall
+        self.lanes: int = sim.lanes
+        #: per-lane cycle of the most recent progress (or idle) cycle
+        self.last_progress: List[int] = [-1] * self.lanes
+        self.diagnoses: List[StallDiagnosis] = []
+        self._mask = (1 << self.lanes) - 1
+        watched = (
+            [ch.sp for ch in self.channels] + [ch.sn for ch in self.channels]
+        )
+        self._fanin_comb = _fanin_cones(sim.netlist, watched, sequential=False)
+        self._fanin_seq = _fanin_cones(sim.netlist, watched, sequential=True)
+        sim.observers.append(self._observe)
+
+    @classmethod
+    def for_target(cls, target, sim, **kwargs) -> "BatchStallWatchdog":
+        """Attach to ``sim`` watching an :class:`RtlTarget`'s channels."""
+        return cls(sim, target.channels, **kwargs)
+
+    def no_progress_mask(self, time: int) -> int:
+        """Bitmask of lanes whose no-progress window has expired."""
+        mask = 0
+        for lane in range(self.lanes):
+            if time - self.last_progress[lane] >= self.window:
+                mask |= 1 << lane
+        return mask
+
+    def _observe(self, time: int, sim) -> None:
+        from repro.rtl.batchsim import strict_planes
+
+        progress = 0
+        pending = 0
+        for ch in self.channels:
+            vp1, _ = strict_planes(sim, ch.vp)
+            sp1, sp0 = strict_planes(sim, ch.sp)
+            vn1, _ = strict_planes(sim, ch.vn)
+            sn1, sn0 = strict_planes(sim, ch.sn)
+            progress |= (vp1 & sp0 & ~vn1) | (vn1 & sn0 & ~vp1) | (vp1 & vn1)
+            pending |= (vp1 & sp1) | (vn1 & sn1)
+        # A lane refreshes its window on progress, or when nothing is
+        # even pending (a fully idle lane is not stalled).
+        refresh = (progress | ~pending) & self._mask
+        lp = self.last_progress
+        for lane in range(self.lanes):
+            if (refresh >> lane) & 1:
+                lp[lane] = time
+            elif time - lp[lane] >= self.window:
+                diagnosis = _diagnose_rtl(
+                    self.channels, sim.lane_values(lane),
+                    self._fanin_comb, self._fanin_seq,
+                    time, self.window, lp[lane],
+                    detail=f"netlist {sim.netlist.name!r}",
+                    lane=lane,
+                )
+                self.diagnoses.append(diagnosis)
+                if self.sink is not None:
+                    self.sink(diagnosis.to_event())
+                if self.on_stall is not None:
+                    self.on_stall(diagnosis)
+                if self.raise_on_stall:
+                    raise StallError(diagnosis)
+                lp[lane] = time  # restart this lane's window
 
 
 def _fanin_cones(

@@ -58,6 +58,7 @@ __all__ = [
     "broadcast",
     "pack_values",
     "pack_stimulus",
+    "strict_planes",
     "unpack_lane",
 ]
 
@@ -101,6 +102,21 @@ def unpack_lane(planes: Planes, lane: int) -> Value:
     if not planes[1] & bit:
         return X
     return 1 if planes[0] & bit else 0
+
+
+def strict_planes(sim, sig: str) -> Planes:
+    """``(ones, zeros)`` lane masks of a signal, strict-bit style.
+
+    Bit ``i`` of ``ones`` is set iff lane ``i`` is *known* 1, of
+    ``zeros`` iff it is known 0; an ``X`` lane appears in neither --
+    the word-wide analogue of the strict comparisons ``sig == 1`` /
+    ``sig == 0`` the protocol classifiers use.  ``sim`` is any
+    simulator with the two-plane ``planes()`` accessor
+    (:class:`BatchSimulator` or the compiled backend), which is where
+    the per-lane watchdogs and the channel profiler read from.
+    """
+    v, k = sim.planes(sig)
+    return (v & k, k & ~v)
 
 
 def pack_stimulus(

@@ -96,3 +96,83 @@ class TestSummarize:
 
     def test_str_format(self):
         assert str(summarize([1, 2, 3])).startswith("n=3 mean=2.00")
+
+
+class TestByteStability:
+    """Golden bytes: snapshots must not depend on int-vs-float arrival."""
+
+    def test_int_and_float_samples_snapshot_identically(self):
+        import json
+
+        def registry(values):
+            reg = MetricsRegistry()
+            g = reg.gauge("occ", eb="0")
+            h = reg.histogram("lat", ch="a")
+            for v in values:
+                g.set(v)
+                h.observe(v)
+            return reg
+
+        ints = registry([1, 2, 4])
+        floats = registry([1.0, 2.0, 4.0])
+        a = json.dumps(ints.snapshot(), sort_keys=True)
+        b = json.dumps(floats.snapshot(), sort_keys=True)
+        assert a == b
+        assert "1.0" not in a  # integral floats collapse to ints
+
+    def test_gauge_snapshot_golden(self):
+        g = MetricsRegistry().gauge("occ")
+        for v in (1, 2.5, 4.0):
+            g.set(v)
+        assert g.snapshot() == {
+            "last": 4, "mean": 2.5, "min": 1, "max": 4, "n": 3,
+        }
+
+    def test_histogram_snapshot_golden(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (3.0, 1, 2):
+            h.observe(v)
+        assert h.snapshot() == {
+            "count": 3, "mean": 2, "p50": 2, "p95": 3, "max": 3,
+        }
+
+    def test_non_integral_floats_round_to_six_places(self):
+        g = MetricsRegistry().gauge("th")
+        g.set(1 / 3)
+        assert g.snapshot()["last"] == 0.333333
+
+
+class TestPrometheusRender:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter("channel_transfers_total", channel="a", dir="+").inc(7)
+        reg.gauge("channel_throughput", channel="a").set(0.5)
+        h = reg.histogram("token_latency", ch="a")
+        for v in (1, 2, 3, 4):
+            h.observe(v)
+        return reg
+
+    def test_exposition_format(self):
+        text = self.build().render_prometheus()
+        assert '# TYPE channel_transfers_total counter' in text
+        assert 'channel_transfers_total{channel="a",dir="+"} 7' in text
+        assert '# TYPE channel_throughput gauge' in text
+        assert '# TYPE token_latency summary' in text
+        assert 'token_latency{ch="a",quantile="0.5"} 2' in text
+        assert 'token_latency_sum{ch="a"} 10' in text
+        assert 'token_latency_count{ch="a"} 4' in text
+        assert text.endswith("\n")
+
+    def test_render_is_deterministic(self):
+        assert (self.build().render_prometheus()
+                == self.build().render_prometheus())
+
+    def test_names_and_values_are_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("9bad-name", note='say "hi"\n').inc()
+        text = reg.render_prometheus()
+        assert "# TYPE _9bad_name counter" in text
+        assert 'note="say \\"hi\\"\\n"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,10 +1,12 @@
-"""Trace equivalence: scalar RTL simulator vs one batchsim lane.
+"""Trace equivalence: scalar RTL simulator vs batchsim/compiled lanes.
 
-Both engines replay the same seeded stimulus on the Fig. 5 dual-EB
-target; the recorder attached to each must produce the identical
-edge/x-onset event stream -- the cross-engine guarantee that makes
-batch-kernel waveforms trustworthy.
+All three engines replay the same seeded stimulus on the Fig. 5
+dual-EB target; the recorder attached to each must produce the
+identical edge/x-onset event stream -- the cross-engine guarantee that
+makes batch-kernel and compiled-module waveforms trustworthy.
 """
+
+import pytest
 
 from repro.faults.campaign import make_stimulus
 from repro.faults.targets import dual_ehb
@@ -26,6 +28,22 @@ def scalar_events(target, stimulus):
 
 def batch_events(target, stimulus, lanes=4, lane=0):
     sim = BatchSimulator(target.netlist, lanes)
+    rec = TraceRecorder().attach_batch(sim, target.observe, lane=lane)
+    for inputs in stimulus:
+        sim.cycle({
+            name: broadcast(value, lanes) for name, value in inputs.items()
+        })
+    return list(rec.events)
+
+
+def compiled_events(target, stimulus, cache, lanes=4, lane=0):
+    from repro.codegen import build_cache
+    from repro.codegen.sim import CompiledSimulator
+
+    sim = CompiledSimulator(
+        target.netlist, lanes, hooks=frozenset(),
+        observe=frozenset(target.observe), cache=build_cache(str(cache)),
+    )
     rec = TraceRecorder().attach_batch(sim, target.observe, lane=lane)
     for inputs in stimulus:
         sim.cycle({
@@ -57,3 +75,38 @@ class TestScalarBatchEquivalence:
         rec.attach_rtl(scalar, target.observe)
         rec.attach_batch(batch, target.observe)
         assert not scalar.observers and not batch.observers
+
+
+class TestCompiledEquivalence:
+    def test_compiled_stream_matches_scalar(self, tmp_path):
+        target = dual_ehb()
+        stimulus = make_stimulus(target.free_inputs, CYCLES, SEED)
+        scalar = scalar_events(target, stimulus)
+        compiled = compiled_events(target, stimulus, tmp_path / "cache")
+        assert scalar, "scalar run recorded no events"
+        assert scalar == compiled
+
+    def test_compiled_nonzero_lane_matches(self, tmp_path):
+        target = dual_ehb()
+        stimulus = make_stimulus(target.free_inputs, 60, SEED)
+        assert (scalar_events(target, stimulus)
+                == compiled_events(target, stimulus, tmp_path / "cache",
+                                   lanes=8, lane=3))
+
+    def test_unobserved_watch_fails_at_attach(self, tmp_path):
+        from repro.codegen import build_cache
+        from repro.codegen.sim import CompiledSimulator
+
+        target = dual_ehb()
+        # Observe only the channel wires; the EB state bits are absent,
+        # so watching one must fail loudly at attach time instead of
+        # tracing a stale slot.
+        observe = frozenset(w for ch in target.channels for w in ch.wires())
+        sim = CompiledSimulator(
+            target.netlist, 4, hooks=frozenset(), observe=observe,
+            cache=build_cache(str(tmp_path / "cache")),
+        )
+        state_bit = target.ebs[0].state_bits[0]
+        with pytest.raises(ValueError, match="not observed"):
+            TraceRecorder().attach_batch(sim, [state_bit])
+        assert not sim.observers
