@@ -4,8 +4,11 @@ Usage (after ``pip install -e .``)::
 
     python -m repro table1   [--cycles 10000] [--seed 2007]
     python -m repro simulate --config active [--cycles 5000] [--seed 0]
-    python -m repro verify   [--design diamond|early|vl]
+    python -m repro verify   [--design diamond|early|vl|all]
                              [--checkpoint dir] [--cache dir] [--no-cache]
+                             [--workers host:port,host:port]
+    python -m repro worker   [--listen host:port] [--shard-timeout 60]
+                             [--once]
     python -m repro export   --format verilog|blif|smv|dot
                              [--config active] [-o out.v]
     python -m repro bound    [--config lazy]
@@ -18,6 +21,8 @@ Usage (after ``pip install -e .``)::
                              [--checkpoint dir] [--resume dir]
                              [--shard-timeout 60] [--max-retries 2]
                              [--backend batch|compiled] [--cache dir]
+                             [--workers host:port,host:port]
+                             [--fabric-checkpoint dir]
     python -m repro profile  [--design early_join|active|pipeline|...]
                              [--backend auto|scalar|batch|compiled]
                              [--cycles 2000] [--seed 2007]
@@ -78,11 +83,72 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fabric import serve
+
+    host, sep, port = args.listen.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"bad --listen address {args.listen!r}; expected host:port"
+        )
+
+    def announce(bound_host: str, bound_port: int) -> None:
+        print(f"fabric worker listening on {bound_host}:{bound_port}",
+              flush=True)
+
+    try:
+        serve(host or "127.0.0.1", int(port),
+              shard_timeout=args.shard_timeout, once=args.once,
+              on_ready=announce)
+    except KeyboardInterrupt:
+        print("worker stopped", file=sys.stderr)
+    return 0
+
+
+def _fabric_verify(args: argparse.Namespace) -> int:
+    """``repro verify --workers``: distribute designs over the fabric."""
+    from repro.fabric import (
+        FabricCoordinator,
+        FabricError,
+        parse_workers,
+    )
+    from repro.resilience import ShardFailure
+    from repro.verif.testbenches import DESIGNS
+
+    designs = sorted(DESIGNS) if args.design == "all" else [args.design]
+    params = {
+        "designs": designs,
+        "max_states": 2_000_000,
+        "cache": None if args.no_cache else args.cache,
+    }
+    try:
+        workers = parse_workers(args.workers)
+        coordinator = FabricCoordinator(
+            "verify", params, list(enumerate(designs)), workers,
+        )
+        results = coordinator.run()
+    except (ValueError, FabricError, ShardFailure) as exc:
+        raise SystemExit(f"fabric verify failed: {exc}")
+    ok = True
+    for index in sorted(results):
+        r = results[index]
+        verdict = "OK" if r["ok"] else "FAIL " + ", ".join(r["failures"])
+        ok = ok and r["ok"]
+        print(f"{r['design']:10s} {r['properties']:3d} properties over "
+              f"{r['states']} states: {verdict}")
+    return 0 if ok else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.resilience import CheckpointMismatch
     from repro.verif.properties import verify_netlist
     from repro.verif.testbenches import DESIGNS, diamond_with_feedback
 
+    if args.workers:
+        return _fabric_verify(args)
+    if args.design == "all":
+        raise SystemExit("--design all needs --workers (the fabric "
+                         "distributes one Kripke build per design)")
     nl, chans, fairness = diamond_with_feedback(**DESIGNS[args.design])
     cache = None
     if not args.no_cache:
@@ -295,6 +361,29 @@ def cmd_inject(args: argparse.Namespace) -> int:
     if args.lanes < 1 or args.jobs < 1:
         raise SystemExit("--lanes and --jobs must be positive")
     checkpoint = args.checkpoint
+    if args.fabric_checkpoint:
+        if checkpoint and checkpoint != args.fabric_checkpoint:
+            raise SystemExit(
+                "--checkpoint and --fabric-checkpoint name different "
+                "directories; the fabric coordinator persists chunks to "
+                "one store"
+            )
+        checkpoint = args.fabric_checkpoint
+    workers = None
+    if args.workers:
+        if args.netlist == "processor":
+            raise SystemExit(
+                "--workers needs an RTL netlist; the behavioural "
+                "processor campaign is not distributable"
+            )
+        if args.jobs > 1:
+            raise SystemExit(
+                "--workers replaces --jobs: the socket fabric shards "
+                "chunks over remote workers instead of local processes"
+            )
+        workers = [w.strip() for w in args.workers.split(",") if w.strip()]
+        if not workers:
+            raise SystemExit("--workers got no addresses")
     if args.resume:
         if checkpoint and checkpoint != args.resume:
             raise SystemExit(
@@ -360,6 +449,7 @@ def cmd_inject(args: argparse.Namespace) -> int:
         config = CampaignConfig(
             cycles=args.cycles, seed=args.seed, kinds=kinds
         )
+        from repro.fabric import FabricError
         from repro.resilience import CheckpointMismatch, ShardFailure
 
         try:
@@ -373,6 +463,7 @@ def cmd_inject(args: argparse.Namespace) -> int:
                 profile=args.profile,
                 backend=args.backend,
                 cache=args.cache,
+                workers=workers,
             )
         except KeyboardInterrupt:
             hint = (
@@ -383,6 +474,8 @@ def cmd_inject(args: argparse.Namespace) -> int:
             return 130
         except CheckpointMismatch as exc:
             raise SystemExit(str(exc))
+        except FabricError as exc:
+            raise SystemExit(f"fabric campaign failed: {exc}")
         except ShardFailure as exc:
             raise SystemExit(f"campaign failed: {exc}")
         if args.shrink:
@@ -633,8 +726,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("verify", help="model check a controller netlist")
-    p.add_argument("--design", choices=("diamond", "early", "vl"),
-                   default="early")
+    p.add_argument("--design", choices=("diamond", "early", "vl", "all"),
+                   default="early",
+                   help="one design, or 'all' (needs --workers) to "
+                        "distribute every design over the fabric")
+    p.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                   help="distribute Kripke builds over running "
+                        "'repro worker' daemons instead of building "
+                        "locally")
     p.add_argument("--checkpoint", default=None,
                    help="directory for periodic state-space snapshots; "
                         "rerunning with the same directory resumes an "
@@ -774,7 +873,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="build-cache directory for --backend compiled "
                         "(default: $REPRO_CACHE_DIR or "
                         "~/.cache/repro/codegen)")
+    p.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                   help="shard chunks over running 'repro worker' "
+                        "socket daemons (replaces --jobs); the merged "
+                        "report is byte-identical to a local run")
+    p.add_argument("--fabric-checkpoint", default=None, metavar="DIR",
+                   help="checkpoint directory on storage shared with a "
+                        "standby coordinator: chunks persist as they "
+                        "complete, and a replacement coordinator "
+                        "pointed here re-adopts surviving workers and "
+                        "the completed work (same as --checkpoint)")
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve campaign/verify work units to a fabric coordinator "
+             "over a socket",
+    )
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="bind address (port 0 picks a free port, printed "
+                        "on startup)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   help="per-unit compute deadline; a unit that blows it "
+                        "kills the worker process loudly (exit 17) so "
+                        "the coordinator requeues instead of waiting on "
+                        "a zombie")
+    p.add_argument("--once", action="store_true",
+                   help="exit after serving one coordinator connection "
+                        "(tests, one-shot campaigns)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "trace",

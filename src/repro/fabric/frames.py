@@ -1,0 +1,94 @@
+"""Length-prefixed JSON frames: the fabric's wire format.
+
+One frame is a 4-byte big-endian length prefix followed by exactly that
+many bytes of UTF-8 JSON (an object).  The format is deliberately dumb:
+
+* **torn frames are loud** -- a connection that drops mid-prefix or
+  mid-body raises :class:`FrameError` instead of yielding a half-parsed
+  message, so the coordinator treats the peer as dead and requeues its
+  work rather than merging garbage;
+* **framing is self-describing** -- no sentinels inside the body, so
+  payloads (campaign chunks, outcome lists) need no escaping;
+* **bounded** -- a prefix larger than :data:`MAX_FRAME` raises
+  immediately; a corrupt or hostile peer cannot make the reader
+  allocate unbounded memory.
+
+JSON serialisation is canonical (sorted keys, compact separators) so a
+frame's bytes are a pure function of its message -- the same property
+every report in this repo leans on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, Optional
+
+__all__ = ["FrameError", "MAX_FRAME", "encode_frame", "read_frame"]
+
+#: Upper bound on one frame's body; campaign chunks are a few KB, so
+#: 64 MiB is generous headroom before "corrupt prefix" is the verdict.
+MAX_FRAME = 64 << 20
+
+_PREFIX = struct.Struct("!I")
+
+
+class FrameError(RuntimeError):
+    """The byte stream is not a well-formed frame sequence."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """``message`` as one wire frame (canonical JSON, length-prefixed)."""
+    body = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _PREFIX.pack(len(body)) + body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, object]]:
+    """The next frame, or ``None`` on a clean EOF at a frame boundary.
+
+    Raises :class:`FrameError` when the stream ends mid-prefix or
+    mid-body (a torn frame -- the peer died while writing), when the
+    prefix exceeds :data:`MAX_FRAME`, or when the body is not a JSON
+    object.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise FrameError(
+            f"connection closed mid-prefix ({len(exc.partial)}/4 bytes)"
+        ) from None
+    except (ConnectionError, OSError) as exc:
+        raise FrameError(f"connection lost reading prefix: {exc}") from None
+    (length,) = _PREFIX.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"frame prefix claims {length} bytes (> MAX_FRAME {MAX_FRAME})"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    except (ConnectionError, OSError) as exc:
+        raise FrameError(f"connection lost reading body: {exc}") from None
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message

@@ -475,6 +475,13 @@ class BatchCampaignHarness:
             )
         sim = self.sim
         sim.reset()
+        # Clear the previous chunk's lane overrides (the scalar
+        # injector does this in reset()): a stuck fault stays active to
+        # the end of its run, and a chunk whose earliest activity edge
+        # sits past cycle 0 would otherwise simulate its opening cycles
+        # under the previous chunk's faults -- making the verdict depend
+        # on which chunk the harness ran before, i.e. on scheduling.
+        sim.set_overrides({})
         bank = batch_monitor_bank(self.target, sim, self._golden_monitor)
         alive = (1 << len(injections)) - 1
         found: Dict[int, Violation] = {}

@@ -507,6 +507,8 @@ def run_campaign(
     profile: bool = False,
     backend: str = "batch",
     cache: Optional[str] = None,
+    workers: Optional[Sequence[str]] = None,
+    fabric: Optional[object] = None,
 ) -> CampaignReport:
     """Sweep every enumerated fault over ``target``.
 
@@ -560,6 +562,20 @@ def run_campaign(
     byte-identical across backends, and the checkpoint fingerprint
     deliberately excludes the backend so a campaign interrupted on one
     can resume on the other.
+
+    ``workers`` names socket-fabric workers (``["host:port", ...]``,
+    each one a running ``repro worker --listen``) and replaces the
+    in-process sharding: chunks are leased over the
+    :class:`~repro.fabric.FabricCoordinator` with work stealing,
+    health-tracked reconnects and requeues.  Requires a *named*
+    target (the worker rebuilds it from the name and the handshake
+    rejects any worker whose netlist fingerprints differently).
+    ``fabric`` optionally carries a :class:`~repro.fabric.FabricConfig`
+    with the scheduling knobs.  The merged report stays byte-identical
+    to ``jobs=1`` for any worker pool and any crash/steal schedule, and
+    ``checkpoint`` composes: the coordinator (never a worker) persists
+    each chunk, so a killed coordinator resumes against surviving
+    workers.
     """
     cfg = config or CampaignConfig()
     if lanes < 1:
@@ -607,7 +623,49 @@ def run_campaign(
     if progress is not None and done:
         progress(done, total)  # announce the resumed head start
 
-    if jobs > 1 and len(pending) > 1:
+    if workers:
+        if not isinstance(target, str):
+            raise ValueError(
+                "the socket fabric needs a named target so workers can "
+                "rebuild (and fingerprint) it independently"
+            )
+        from repro.fabric import (
+            FabricConfig,
+            FabricCoordinator,
+            parse_workers,
+        )
+        from repro.fabric.jobs import (
+            encode_campaign_config,
+            encode_injection,
+        )
+
+        fabric_config = fabric or FabricConfig(
+            unit_timeout=shard_timeout, max_retries=max_retries,
+        )
+        coordinator = FabricCoordinator(
+            "campaign",
+            {
+                "target": target,
+                "config": encode_campaign_config(cfg),
+                "lanes": lanes,
+                "degrade": degrade,
+                "backend": backend,
+                "cache": cache,
+            },
+            [
+                (index, [encode_injection(i) for i in chunk])
+                for index, chunk in pending
+            ],
+            parse_workers(",".join(workers)),
+            config=fabric_config,
+            metrics=metrics,
+            on_result=lambda index, payload: record(
+                index, [FaultOutcome(**d) for d in payload]
+            ),
+            injections_per_unit=lanes,
+        )
+        coordinator.run()
+    elif jobs > 1 and len(pending) > 1:
         supervisor = ShardSupervisor(
             _chunk_worker,
             (spec, cfg, lanes, degrade, backend, cache),

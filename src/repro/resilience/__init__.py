@@ -25,6 +25,7 @@ from repro.resilience.checkpoint import (
     CheckpointStore,
     atomic_write_json,
 )
+from repro.resilience.clock import MONOTONIC, Clock, FakeClock
 from repro.resilience.degrade import (
     DegradingCampaignHarness,
     LaneFaultError,
@@ -34,6 +35,7 @@ from repro.resilience.supervisor import (
     ShardFailure,
     ShardSupervisor,
     SupervisorConfig,
+    backoff_for,
 )
 from repro.resilience.watchdog import (
     BatchStallWatchdog,
@@ -48,8 +50,11 @@ __all__ = [
     "CheckpointError",
     "CheckpointMismatch",
     "CheckpointStore",
+    "Clock",
     "DegradingCampaignHarness",
+    "FakeClock",
     "LaneFaultError",
+    "MONOTONIC",
     "NetworkStallWatchdog",
     "RtlStallWatchdog",
     "ShardFailure",
@@ -58,5 +63,6 @@ __all__ = [
     "StallError",
     "SupervisorConfig",
     "atomic_write_json",
+    "backoff_for",
     "verify_degradation",
 ]

@@ -9,7 +9,10 @@ index -> payload).  Unlike ``ProcessPoolExecutor`` it
   measured from dispatch to result),
 * requeues the lost shard with capped exponential backoff and respawns
   a replacement worker, counting every requeue in the metrics registry
-  as ``campaign_shard_retries_total{reason=crash|timeout|error}``,
+  as ``campaign_shard_retries_total{reason=crash|timeout|error,attempt}``
+  (the ``attempt`` label makes the chosen backoff deterministic:
+  ``min(cap, base * 2**(attempt-1))``, recorded in the
+  ``supervisor_backoff_seconds{reason}`` gauge),
 * records worker heartbeats (every control message) in the registry as
   ``supervisor_heartbeats_total{worker}``,
 * owns an idempotent :meth:`shutdown` that terminates every worker --
@@ -44,10 +47,31 @@ from typing import (
     Tuple,
 )
 
+from repro.resilience.clock import MONOTONIC, Clock
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["ShardFailure", "ShardSupervisor", "SupervisorConfig"]
+__all__ = ["ShardFailure", "ShardSupervisor", "SupervisorConfig", "backoff_for"]
+
+
+def backoff_for(attempt: int, base: float, cap: float) -> float:
+    """The capped exponential backoff before retry number ``attempt``.
+
+    ``attempt`` counts from 1 (the first retry); the schedule is
+    ``min(cap, base * 2**(attempt-1))`` -- shared by the shard
+    supervisor's requeue path and the fabric's reconnect machinery so
+    both honour the same cap and both are testable on a fake clock.
+    """
+    if attempt < 1:
+        raise ValueError("attempt counts from 1")
+    # 2**(attempt-1) overflows no float for any sane retry budget, but
+    # short-circuit once the cap is reached so huge attempt numbers
+    # cost nothing.
+    if base >= cap:
+        return cap
+    exponent = min(attempt - 1, 64)
+    return min(cap, base * (2 ** exponent))
 
 
 @dataclass(frozen=True)
@@ -141,10 +165,12 @@ class ShardSupervisor:
         config: Optional[SupervisorConfig] = None,
         metrics: Optional["MetricsRegistry"] = None,
         on_result: Optional[Callable[[int, object], None]] = None,
+        clock: Clock = MONOTONIC,
     ) -> None:
         self.config = config or SupervisorConfig()
         if self.config.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        self._clock = clock
         self._worker_init = worker_init
         self._init_args = tuple(init_args)
         self._pending: List[_Task] = [_Task(i, p) for i, p in tasks]
@@ -167,23 +193,26 @@ class ShardSupervisor:
                 "supervisor_heartbeats_total", worker=str(worker.slot)
             ).inc()
 
-    def _count_retry(self, reason: str) -> None:
+    def _count_retry(self, reason: str, attempt: int, backoff: float) -> None:
         if self._metrics is not None:
             self._metrics.counter(
-                "campaign_shard_retries_total", reason=reason
+                "campaign_shard_retries_total",
+                reason=reason, attempt=attempt,
             ).inc()
+            self._metrics.gauge(
+                "supervisor_backoff_seconds", reason=reason
+            ).set(backoff)
 
     def _requeue(self, task: _Task, reason: str, detail: str) -> None:
         task.attempts += 1
         task.last_error = detail
         if task.attempts > self.config.max_retries:
             raise ShardFailure(task.index, task.attempts, detail)
-        backoff = min(
-            self.config.backoff_cap,
-            self.config.backoff_base * (2 ** (task.attempts - 1)),
+        backoff = backoff_for(
+            task.attempts, self.config.backoff_base, self.config.backoff_cap
         )
-        task.eligible_at = time.monotonic() + backoff
-        self._count_retry(reason)
+        task.eligible_at = self._clock() + backoff
+        self._count_retry(reason, task.attempts, backoff)
         self._pending.append(task)
 
     # -- worker lifecycle ----------------------------------------------
@@ -227,7 +256,7 @@ class ShardSupervisor:
 
     # -- event loop ----------------------------------------------------
     def _assign(self) -> None:
-        now = time.monotonic()
+        now = self._clock()
         idle = [w for w in self._workers if w.task is None]
         eligible = sorted(
             (t for t in self._pending if t.eligible_at <= now),
@@ -259,7 +288,7 @@ class ShardSupervisor:
         timeout = self.config.shard_timeout
         if timeout is None:
             return
-        now = time.monotonic()
+        now = self._clock()
         for worker in list(self._workers):
             task = worker.task
             if task is None or now - worker.dispatched_at <= timeout:
@@ -283,7 +312,7 @@ class ShardSupervisor:
             return
         self._heartbeat(worker)
         if kind == "start":
-            worker.dispatched_at = time.monotonic()
+            worker.dispatched_at = self._clock()
         elif kind == "result":
             worker.task = None
             if index not in self._results:

@@ -1,0 +1,79 @@
+"""Wire-format tests: framing round-trips, torn frames, bounds."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.fabric.frames import FrameError, MAX_FRAME, encode_frame, read_frame
+
+
+def read_from(data: bytes):
+    """Run read_frame against an in-memory stream fed ``data`` then EOF."""
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(main())
+
+
+class TestRoundTrip:
+    def test_encode_then_read(self):
+        message = {"type": "result", "index": 3, "payload": [1, "two", None]}
+        assert read_from(encode_frame(message)) == message
+
+    def test_canonical_bytes(self):
+        # Same message, any construction order -> same bytes.
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+    def test_two_frames_in_sequence(self):
+        data = encode_frame({"n": 1}) + encode_frame({"n": 2})
+
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(main())
+        assert (first, second, third) == ({"n": 1}, {"n": 2}, None)
+
+    def test_clean_eof_is_none(self):
+        assert read_from(b"") is None
+
+
+class TestTornFrames:
+    def test_torn_prefix(self):
+        with pytest.raises(FrameError, match="mid-prefix"):
+            read_from(b"\x00\x00")
+
+    def test_torn_body(self):
+        whole = encode_frame({"type": "lease", "units": [[0, "x"]]})
+        with pytest.raises(FrameError, match="mid-frame"):
+            read_from(whole[:-3])
+
+    def test_oversize_prefix(self):
+        prefix = struct.pack("!I", MAX_FRAME + 1)
+        with pytest.raises(FrameError, match="MAX_FRAME"):
+            read_from(prefix)
+
+    def test_body_not_json(self):
+        body = b"not json at all"
+        with pytest.raises(FrameError, match="not valid JSON"):
+            read_from(struct.pack("!I", len(body)) + body)
+
+    def test_body_not_object(self):
+        body = b"[1,2,3]"
+        with pytest.raises(FrameError, match="JSON object"):
+            read_from(struct.pack("!I", len(body)) + body)
+
+    def test_encode_rejects_oversize(self):
+        with pytest.raises(FrameError, match="exceeds MAX_FRAME"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})

@@ -54,6 +54,35 @@ def test_invalid_lane_and_job_counts():
         run_campaign("dual_ehb", CONFIG, jobs=0)
 
 
+def test_chunk_order_never_changes_batch_verdicts():
+    """Regression: a reused batch harness must clear lane overrides.
+
+    Stuck faults stay active to the end of their run; before the fix a
+    chunk whose earliest activity edge sat past cycle 0 simulated its
+    opening cycles under the *previous* chunk's faults, so verdicts
+    depended on which chunk a worker happened to run first (late
+    injection cycles made this visible: spurious detections of faults
+    that never even activate inside the horizon).
+    """
+    from repro.faults.campaign import _chunked, _make_harness
+
+    config = CampaignConfig(
+        cycles=40, seed=2007, injection_cycles=tuple(range(0, 109, 7)),
+        untestable_analysis=False,
+    )
+    target = resolve_target("dual_ehb")
+    chunks = _chunked(enumerate_injections(target, config), 32)
+    reused = _make_harness(target, config, 32, True, None)
+    in_order = [
+        [o.to_dict() for o in reused.run_chunk(chunk)] for chunk in chunks
+    ]
+    for index in (2, 0, len(chunks) - 1):
+        fresh = _make_harness(target, config, 32, True, None)
+        assert [
+            o.to_dict() for o in fresh.run_chunk(chunks[index])
+        ] == in_order[index], f"chunk {index} depends on chunk order"
+
+
 def test_seed_sweep_matches_scalar_harnesses():
     """One fault x many seeds: each lane equals its own scalar run."""
     target = resolve_target("early_join")

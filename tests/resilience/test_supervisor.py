@@ -81,6 +81,14 @@ def _fast_config(**kw):
     return SupervisorConfig(**kw)
 
 
+def _retries(metrics, reason):
+    """Total requeues for one reason, summed over the attempt label."""
+    return sum(
+        m.value for m in metrics.series("campaign_shard_retries_total")
+        if dict(m.labels).get("reason") == reason
+    )
+
+
 class TestHappyPath:
     def test_all_shards_complete(self):
         tasks = [(i, i) for i in range(6)]
@@ -125,9 +133,7 @@ class TestCrashRecovery:
             config=_fast_config(), metrics=metrics,
         )
         assert sup.run() == {i: i * 10 for i in range(4)}
-        assert metrics.counter(
-            "campaign_shard_retries_total", reason="crash"
-        ).value == 1
+        assert _retries(metrics, "crash") == 1
 
     def test_hung_worker_killed_and_shard_requeued(self, tmp_path):
         metrics = MetricsRegistry()
@@ -136,9 +142,7 @@ class TestCrashRecovery:
             config=_fast_config(shard_timeout=0.6), metrics=metrics,
         )
         assert sup.run() == {i: i + 100 for i in range(3)}
-        assert metrics.counter(
-            "campaign_shard_retries_total", reason="timeout"
-        ).value == 1
+        assert _retries(metrics, "timeout") == 1
         assert mp.active_children() == []
 
     def test_worker_exception_requeued_as_error(self, tmp_path):
@@ -148,9 +152,7 @@ class TestCrashRecovery:
             config=_fast_config(), metrics=metrics,
         )
         assert sup.run() == {0: 0, 1: -1, 2: -2}
-        assert metrics.counter(
-            "campaign_shard_retries_total", reason="error"
-        ).value == 1
+        assert _retries(metrics, "error") == 1
 
     def test_heartbeats_recorded(self):
         metrics = MetricsRegistry()
@@ -194,3 +196,75 @@ class TestValidation:
             ShardSupervisor(
                 _square_init, (), [], config=SupervisorConfig(jobs=0)
             )
+
+
+class TestBackoffAccounting:
+    """Requeue backoff on a fake clock: exact arithmetic, zero sleeps."""
+
+    def _requeue_n(self, n, *, base=0.25, cap=2.0, metrics=None):
+        from repro.resilience import FakeClock
+
+        clock = FakeClock()
+        sup = ShardSupervisor(
+            _square_init, (), [(0, 0)],
+            config=_fast_config(
+                backoff_base=base, backoff_cap=cap, max_retries=n + 1
+            ),
+            metrics=metrics, clock=clock,
+        )
+        task = sup._pending[0]
+        eligible = []
+        for _ in range(n):
+            sup._pending.remove(task)
+            sup._requeue(task, "crash", "synthetic")
+            eligible.append(task.eligible_at - clock())
+        return eligible
+
+    def test_backoff_schedule_and_cap(self):
+        assert self._requeue_n(6, base=0.25, cap=2.0) == [
+            0.25, 0.5, 1.0, 2.0, 2.0, 2.0  # capped from attempt 4 on
+        ]
+
+    def test_backoff_for_honours_cap_at_huge_attempts(self):
+        from repro.resilience import backoff_for
+
+        assert backoff_for(1, 0.25, 8.0) == 0.25
+        assert backoff_for(6, 0.25, 8.0) == 8.0
+        assert backoff_for(10_000, 0.25, 8.0) == 8.0  # no overflow
+        with pytest.raises(ValueError):
+            backoff_for(0, 0.25, 8.0)
+
+    def test_attempt_label_is_deterministic(self):
+        metrics = MetricsRegistry()
+        self._requeue_n(3, base=0.5, cap=8.0, metrics=metrics)
+        series = {
+            dict(m.labels)["attempt"]: m.value
+            for m in metrics.series("campaign_shard_retries_total")
+        }
+        assert series == {"1": 1, "2": 1, "3": 1}
+        assert all(
+            dict(m.labels)["reason"] == "crash"
+            for m in metrics.series("campaign_shard_retries_total")
+        )
+        # The gauge remembers the latest chosen backoff (attempt 3).
+        gauge = metrics.gauge("supervisor_backoff_seconds", reason="crash")
+        assert gauge.last == 2.0
+
+    def test_eligibility_follows_fake_clock(self):
+        from repro.resilience import FakeClock
+
+        clock = FakeClock(start=100.0)
+        sup = ShardSupervisor(
+            _square_init, (), [(0, 0)],
+            config=_fast_config(backoff_base=1.0, backoff_cap=4.0),
+            clock=clock,
+        )
+        task = sup._pending[0]
+        sup._pending.remove(task)
+        sup._requeue(task, "timeout", "synthetic")
+        assert task.eligible_at == 101.0
+        # _assign skips the task until the clock passes eligible_at.
+        sup._assign()
+        assert task in sup._pending
+        clock.advance(1.0)
+        assert clock() >= task.eligible_at
