@@ -30,6 +30,7 @@ Usage (after ``pip install -e .``)::
                              [--json out.json] [--cache dir] [--list]
     python -m repro build    [target ...] [--cache dir] [--stats] [--clear]
     python -m repro lint     [target ...] [--list] [--json out.json]
+                             [--file design.blif] [--explain RULEID]
                              [--sarif out.sarif] [--baseline file]
                              [--write-baseline file] [--no-cache]
                              [--cache dir]
@@ -563,14 +564,17 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
+        FrontendParseError,
         all_targets,
+        lint_file,
         load_baseline,
         new_findings,
+        render_witness,
         run_lint,
         sarif_json,
         write_baseline,
     )
-    from repro.lint.findings import Severity
+    from repro.lint.findings import RULES, Severity
 
     if args.list:
         from repro.lint import LINT_TARGETS
@@ -578,7 +582,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for name in sorted(LINT_TARGETS):
             print(name)
         return 0
-    targets = args.targets or all_targets()
+    if args.explain:
+        rule = RULES.get(args.explain)
+        if rule is None:
+            raise SystemExit(
+                f"unknown rule {args.explain!r}; pick from "
+                f"{', '.join(sorted(RULES))}"
+            )
+        print(f"{args.explain} [{rule.severity.name}] {rule.title}")
+        print(f"  {rule.clause}")
+        if not args.targets and not args.file:
+            return 0
+    targets = args.targets or ([] if args.file else all_targets())
     cache = None
     if not args.no_cache:
         from repro.codegen import build_cache
@@ -588,6 +603,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
         report = run_lint(targets, cache=cache)
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]))
+    for path in args.file or []:
+        try:
+            report.extend(lint_file(path, cache=cache))
+        except (OSError, FrontendParseError) as exc:
+            raise SystemExit(str(exc))
+    if args.explain:
+        matched = [f for f in report.findings if f.rule == args.explain]
+        print(f"\n{len(matched)} finding(s) for {args.explain}")
+        for f in matched:
+            print(f"  {f}")
+            if f.witness:
+                for line in render_witness(f.witness):
+                    print(f"    {line}")
+        return 0
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
@@ -772,6 +801,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "see --list)")
     p.add_argument("--list", action="store_true",
                    help="print the available targets and exit")
+    p.add_argument("--file", action="append", default=None, metavar="PATH",
+                   help="re-parse this exported .blif/.v file and lint the "
+                        "reconstructed netlist; findings carry file/line/"
+                        "column anchors (repeatable, mixes with targets)")
+    p.add_argument("--explain", default=None, metavar="RULEID",
+                   help="print the catalog entry for one rule; with "
+                        "targets or --file also renders that rule's "
+                        "findings and their witnesses (exit 0)")
     p.add_argument("--json", default=None,
                    help="write the deterministic JSON findings here")
     p.add_argument("--sarif", default=None,

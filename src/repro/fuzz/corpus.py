@@ -36,6 +36,9 @@ class CorpusEntry:
     model: Dict[str, object]
     shrunk: Dict[str, object]
     mutation: Optional[str] = None
+    #: sorted lint rule ids firing on the (unmutated) original spec --
+    #: cross-references each counterexample with the static analyzer
+    rules_hit: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -46,6 +49,7 @@ class CorpusEntry:
             "finding": self.finding,
             "model": self.model,
             "shrunk": self.shrunk,
+            "rules_hit": sorted(self.rules_hit),
             "blocks_before": len(self.model.get("blocks", ())),
             "blocks_after": len(self.shrunk.get("blocks", ())),
         }
@@ -59,6 +63,7 @@ class CorpusEntry:
             model=dict(data["model"]),
             shrunk=dict(data["shrunk"]),
             mutation=data.get("mutation"),
+            rules_hit=[str(r) for r in data.get("rules_hit", [])],
         )
 
     def to_json(self) -> str:

@@ -122,6 +122,23 @@ def shrink_predicate(
     return fails
 
 
+def _rules_hit(model: SpecModel) -> List[str]:
+    """Sorted lint rule ids firing on the unmutated original spec.
+
+    Cross-references every counterexample with the static analyzer:
+    a dynamic finding on a model the linter already flags is usually
+    the linter's defect class manifesting.  Unbuildable models (the
+    ``build`` oracle stage) hit no rules.
+    """
+    from repro.lint.elastic_rules import lint_spec
+
+    try:
+        spec = model.build()
+    except Exception:
+        return []
+    return sorted({f.rule for f in lint_spec(spec)})
+
+
 def _make_entry(
     config: FuzzConfig,
     model: SpecModel,
@@ -143,6 +160,7 @@ def _make_entry(
         model=model.to_dict(),
         shrunk=shrunk.to_dict(),
         mutation=config.mutation,
+        rules_hit=_rules_hit(model),
     )
 
 

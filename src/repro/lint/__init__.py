@@ -1,18 +1,28 @@
 """repro.lint -- rule-based static analysis of elastic designs.
 
-Two front-ends feed one reporting spine:
+Three front-ends feed one reporting spine:
 
 * the **netlist front-end** (:mod:`repro.lint.netlist_rules`, rules
   ``LNT0xx``) checks gate/latch netlists: driver discipline, dead and
   floating logic, two-phase clocking, combinational cycles (the one
   producer of the diagnostic both simulators raise), ternary constant
-  propagation and structural X sources;
+  propagation and structural X sources, plus the dataflow rules --
+  LNT008 (state stuck at X) and LNT009 (uncovered reset observable) --
+  built on the fixpoint engine of :mod:`repro.lint.dataflow`;
 * the **elastic front-end** (:mod:`repro.lint.elastic_rules`, rules
   ``ELX0xx``) checks specs, behavioural networks and DMG abstractions:
   connectivity and channel polarity, controller shape, static deadlock
-  analysis (token-free and bubble-free cycles) and anti-token balance
-  behind early-evaluation joins.
+  analysis (token-free and bubble-free cycles), anti-token balance
+  behind early-evaluation joins, and the token-availability rules
+  ELX008 (dead EE arm) and ELX009 (starved counterflow);
+* the **re-parse front-end** (:mod:`repro.lint.frontends`) reads
+  exported BLIF/structural Verilog back into netlists with a source
+  map, so ``repro lint --file design.blif`` anchors findings to
+  file/line/column.
 
+Dataflow findings carry machine-checkable witnesses
+(:func:`replay_witness` / :func:`replay_spec_witness` re-derive them;
+:func:`render_witness` pretty-prints them for ``--explain``).
 Findings serialise to deterministic JSON and SARIF 2.1.0
 (:mod:`repro.lint.sarif`), suppress against baseline files
 (:mod:`repro.lint.baseline`), and emit as ``finding`` trace events.
@@ -22,29 +32,87 @@ the spec rules at build time and fails fast on errors.
 """
 
 from repro.lint.baseline import load_baseline, new_findings, write_baseline
-from repro.lint.elastic_rules import lint_dmg, lint_network, lint_spec
-from repro.lint.findings import RULES, Finding, LintReport, Rule, Severity
-from repro.lint.netlist_rules import combinational_cycle_finding, lint_netlist
+from repro.lint.dataflow import (
+    FixpointDivergence,
+    FixpointResult,
+    dmg_graph,
+    fixpoint,
+    netlist_graph,
+    spec_graph,
+)
+from repro.lint.elastic_rules import (
+    lint_dmg,
+    lint_network,
+    lint_spec,
+    replay_spec_witness,
+    token_availability,
+)
+from repro.lint.findings import (
+    RULES,
+    Finding,
+    LintReport,
+    Rule,
+    Severity,
+    SourceLocation,
+    render_witness,
+)
+from repro.lint.frontends import (
+    FrontendParseError,
+    ParsedDesign,
+    SourceMap,
+    attach_locations,
+    parse_blif,
+    parse_design_file,
+    parse_verilog,
+)
+from repro.lint.netlist_rules import (
+    combinational_cycle_finding,
+    constant_values,
+    lint_netlist,
+    replay_witness,
+    value_sets,
+)
 from repro.lint.sarif import sarif_json, to_sarif
-from repro.lint.targets import LINT_TARGETS, all_targets, run_lint
+from repro.lint.targets import LINT_TARGETS, all_targets, lint_file, run_lint
 
 __all__ = [
     "RULES",
     "Finding",
+    "FixpointDivergence",
+    "FixpointResult",
+    "FrontendParseError",
     "LintReport",
+    "ParsedDesign",
     "Rule",
     "Severity",
+    "SourceLocation",
+    "SourceMap",
     "LINT_TARGETS",
     "all_targets",
+    "attach_locations",
     "combinational_cycle_finding",
+    "constant_values",
+    "dmg_graph",
+    "fixpoint",
     "lint_dmg",
+    "lint_file",
     "lint_netlist",
     "lint_network",
     "lint_spec",
     "load_baseline",
+    "netlist_graph",
     "new_findings",
+    "parse_blif",
+    "parse_design_file",
+    "parse_verilog",
+    "render_witness",
+    "replay_spec_witness",
+    "replay_witness",
     "run_lint",
     "sarif_json",
+    "spec_graph",
     "to_sarif",
+    "token_availability",
+    "value_sets",
     "write_baseline",
 ]

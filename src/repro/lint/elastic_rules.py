@@ -22,6 +22,16 @@ advance, so such loops deadlock in the implementation.  ELX006
 attributes a deadlock cycle to the counterflow discipline when it runs
 behind an early join with no annihilating buffer or passive interface
 on it (the anti-tokens the join emits can then never die).
+
+ELX008/ELX009 run a *token-availability* fixpoint on the shared
+dataflow engine (:mod:`repro.lint.dataflow`): every element and channel
+gets a value from the three-level lattice NEVER < SOMETIMES < ALWAYS
+("can a valid token ever / persistently appear here").  ELX008 flags a
+threshold-EE arm whose guard is met every cycle by the other,
+persistently valid arms alone; ELX009 flags an early-join arm that
+receives anti-tokens but whose channel can never carry a token to
+annihilate them (refining ELX006 beyond structural cycles).  Both
+attach witness chains replayed by :func:`replay_spec_witness`.
 """
 
 from __future__ import annotations
@@ -42,11 +52,22 @@ from repro.elastic.behavioral import (
     Source,
     VariableLatency,
 )
+from repro.elastic.ee import MuxEE, ThresholdEE
+from repro.lint.dataflow import fixpoint, spec_graph, spec_in_channels
 from repro.lint.findings import Finding
 from repro.rtl.toposort import canonical_cycle, order_or_cycle
 from repro.synthesis.spec import Connection, SystemSpec
 
-__all__ = ["lint_spec", "lint_network", "lint_dmg"]
+__all__ = [
+    "lint_spec",
+    "lint_network",
+    "lint_dmg",
+    "replay_spec_witness",
+    "token_availability",
+]
+
+#: The token-availability lattice: NEVER < SOMETIMES < ALWAYS.
+NEVER, SOMETIMES, ALWAYS = 0, 1, 2
 
 
 # ----------------------------------------------------------------------
@@ -59,13 +80,15 @@ def _find_cycles(
 
     Reuses the shared :func:`~repro.rtl.toposort.order_or_cycle` walker:
     find one cycle, cut its closing arc, rescan.  Node order is the
-    canonical rotation, in flow order.
+    canonical rotation, in flow order; the hunt runs over the graph
+    with sorted keys and predecessors, so *which* cycles are found is
+    independent of arc declaration order.
     """
     preds: Dict[str, List[str]] = {}
     for src, dst in arcs:
         preds.setdefault(src, [])
         preds.setdefault(dst, []).append(src)
-    graph = {n: tuple(p) for n, p in preds.items()}
+    graph = {n: tuple(sorted(preds[n])) for n in sorted(preds)}
     cycles: List[List[str]] = []
     seen: Set[Tuple[str, ...]] = set()
     for _ in range(max_cycles):
@@ -257,6 +280,262 @@ def _spec_passive_use(spec: SystemSpec) -> List[Finding]:
     ]
 
 
+# ----------------------------------------------------------------------
+# Token availability (ELX008 / ELX009, on the dataflow engine)
+# ----------------------------------------------------------------------
+def token_availability(spec: SystemSpec) -> Dict[str, int]:
+    """Token availability of every spec node: NEVER/SOMETIMES/ALWAYS.
+
+    An ascending fixpoint (join: max) over :func:`spec_graph`.  A
+    source emits ALWAYS when ``p_valid >= 1``, NEVER when ``<= 0``,
+    SOMETIMES in between; a register adds SOMETIMES for its initial
+    tokens and otherwise forwards its input; a channel carries its
+    producer's value.  A lazy join takes the min of its arms, a
+    variable-latency block caps at SOMETIMES, a k-of-n threshold join
+    takes the k-th largest arm, and a mux join is ALWAYS only when the
+    select and every data arm are, NEVER when the select -- or every
+    data arm -- is.  All transfers are monotone on the 3-level chain,
+    so the fixpoint is the least one and order-independent.
+    """
+    graph = spec_graph(spec)
+    arms = spec_in_channels(spec)
+
+    def arm_values(name: str, get) -> List[int]:
+        vals = []
+        for ch in arms.get(name, []):
+            node = f"channel:{ch}" if ch is not None else None
+            vals.append(get(node) if node in graph else NEVER)
+        return vals
+
+    def block_avail(name: str, get) -> int:
+        b = spec.blocks[name]
+        vals = arm_values(name, get)
+        if not vals:
+            return NEVER
+        ee = b.ee
+        if isinstance(ee, ThresholdEE):
+            ranked = sorted(vals, reverse=True)
+            out = ranked[ee.k - 1] if ee.k <= len(ranked) else NEVER
+        elif isinstance(ee, MuxEE) and 0 <= ee.select < len(vals):
+            sel = vals[ee.select]
+            data = [v for i, v in enumerate(vals) if i != ee.select]
+            if not data:
+                out = sel
+            elif sel == ALWAYS and min(data) == ALWAYS:
+                out = ALWAYS
+            elif sel == NEVER or max(data) == NEVER:
+                out = NEVER
+            else:
+                out = SOMETIMES
+        else:
+            out = min(vals)  # lazy join / AndEE / single input
+        if b.latency is not None:
+            out = min(out, SOMETIMES)  # a VL unit answers, but not every cycle
+        return out
+
+    def transfer(node: str, get) -> int:
+        kind, _, name = node.partition(":")
+        if kind == "channel":
+            deps = graph[node]
+            return get(deps[0]) if deps else NEVER
+        if kind == "source":
+            p = spec.sources[name].p_valid
+            return ALWAYS if p >= 1 else (NEVER if p <= 0 else SOMETIMES)
+        if kind == "register":
+            r = spec.registers[name]
+            ins = [get(c) for c in graph[node]]
+            seeded = SOMETIMES if r.initial_tokens > 0 else NEVER
+            return max([seeded] + ins)
+        if kind == "block":
+            return block_avail(name, get)
+        return NEVER  # sinks produce nothing
+
+    result = fixpoint(graph, transfer, init=lambda n: NEVER, join=max)
+    return result.values  # type: ignore[return-value]
+
+
+def _avail_chain(
+    graph: Dict[str, Tuple[str, ...]],
+    avail: Dict[str, int],
+    node: str,
+    level: int,
+) -> List[str]:
+    """A witness chain justifying ``node``'s availability ``level``.
+
+    Walks dependency edges backward, always into the sorted-first
+    dependency at the same level (every transfer guarantees one exists:
+    an ALWAYS block has an ALWAYS arm, a NEVER join a NEVER arm, ...),
+    until it reaches a source or closes on itself.  Deterministic by
+    construction.
+    """
+    chain = [node]
+    seen = {node}
+    cur = node
+    while not cur.startswith("source:"):
+        nxt = None
+        for dep in graph.get(cur, ()):
+            if dep not in seen and avail.get(dep, NEVER) == level:
+                nxt = dep
+                break
+        if nxt is None:
+            break  # a self-sustaining loop (or a register's own tokens)
+        chain.append(nxt)
+        seen.add(nxt)
+        cur = nxt
+    return chain
+
+
+def _dead_ee_arms(spec: SystemSpec) -> List[Finding]:
+    """ELX008: threshold-EE arms that never decide the guard."""
+    thresholds = sorted(
+        name for name, b in spec.blocks.items() if isinstance(b.ee, ThresholdEE)
+    )
+    if not thresholds:
+        return []
+    graph = spec_graph(spec)
+    avail = token_availability(spec)
+    arms = spec_in_channels(spec)
+    findings = []
+    for name in thresholds:
+        b = spec.blocks[name]
+        k = b.ee.k
+        chans = arms.get(name, [])
+        always = [
+            i for i, ch in enumerate(chans)
+            if ch is not None and avail.get(f"channel:{ch}", NEVER) == ALWAYS
+        ]
+        for i, ch in enumerate(chans):
+            if ch is None:
+                continue
+            supporting = [j for j in always if j != i]
+            if len(supporting) < k:
+                continue
+            findings.append(Finding(
+                "ELX008", spec.name, f"{name}.in{i}",
+                f"threshold {k}-of-{b.ee.arity} at early join {name!r} "
+                f"is met every cycle by "
+                f"{', '.join(f'in{j}' for j in supporting)} alone: "
+                f"arm in{i} ({ch!r}) never decides the guard, so its "
+                "G-gate and pending logic are statically irrelevant",
+                witness={
+                    "kind": "dead-ee-arm",
+                    "block": name,
+                    "arm": i,
+                    "channel": ch,
+                    "threshold": k,
+                    "supporting_arms": [f"in{j}" for j in supporting],
+                    "chains": [
+                        _avail_chain(graph, avail, f"channel:{chans[j]}", ALWAYS)
+                        for j in supporting
+                    ],
+                },
+            ))
+    return findings
+
+
+def _starved_counterflow(spec: SystemSpec) -> List[Finding]:
+    """ELX009: anti-tokens sent into a channel no token ever reaches."""
+    early = sorted(name for name, b in spec.blocks.items() if b.is_early)
+    if not early:
+        return []
+    graph = spec_graph(spec)
+    avail = token_availability(spec)
+    arms = spec_in_channels(spec)
+    findings = []
+    for name in early:
+        b = spec.blocks[name]
+        if avail.get(f"block:{name}", NEVER) == NEVER:
+            continue  # the join never fires, so it emits no anti-tokens
+        for i, ch in enumerate(arms.get(name, [])):
+            if ch is None:
+                continue
+            if b.g_inputs is not None and not b.g_inputs[i]:
+                continue  # no G gate: the arm never sees anti-tokens
+            if avail.get(f"channel:{ch}", NEVER) != NEVER:
+                continue
+            findings.append(Finding(
+                "ELX009", spec.name, f"{name}.in{i}",
+                f"early join {name!r} can fire without arm in{i} and "
+                f"emits anti-tokens into {ch!r}, but no token can ever "
+                "arrive there: the anti-tokens never annihilate and "
+                "accumulate forever",
+                witness={
+                    "kind": "starved-counterflow",
+                    "block": name,
+                    "arm": i,
+                    "channel": ch,
+                    "chain": _avail_chain(graph, avail, f"channel:{ch}", NEVER),
+                },
+            ))
+    return findings
+
+
+def replay_spec_witness(spec: SystemSpec, finding: Finding) -> bool:
+    """Re-derive one availability finding's witness against the spec.
+
+    Machine-checks the ELX008/ELX009 witness vocabulary: the arm and
+    channel must match the spec's wiring, the claimed availability
+    levels must re-derive from :func:`token_availability`, and every
+    chain must walk real dependency edges at the claimed level.
+    Returns False for a missing, foreign or inconsistent witness.
+    """
+    w = finding.witness
+    if not w:
+        return False
+    kind = w.get("kind")
+    if kind not in ("dead-ee-arm", "starved-counterflow"):
+        return False
+    block = spec.blocks.get(w.get("block"))
+    if block is None:
+        return False
+    graph = spec_graph(spec)
+    avail = token_availability(spec)
+    chans = spec_in_channels(spec).get(block.name, [])
+    arm = w.get("arm")
+    if not isinstance(arm, int) or not 0 <= arm < len(chans):
+        return False
+    if chans[arm] != w.get("channel"):
+        return False
+
+    def chain_ok(chain: object, level: int) -> bool:
+        if not isinstance(chain, list) or not chain:
+            return False
+        if any(avail.get(n, NEVER) != level for n in chain):
+            return False
+        return all(b in graph.get(a, ()) for a, b in zip(chain, chain[1:]))
+
+    if kind == "dead-ee-arm":
+        if not isinstance(block.ee, ThresholdEE) or w.get("threshold") != block.ee.k:
+            return False
+        supporting = w.get("supporting_arms")
+        chains = w.get("chains")
+        if not isinstance(supporting, list) or not isinstance(chains, list):
+            return False
+        if len(supporting) < block.ee.k or len(chains) != len(supporting):
+            return False
+        idxs = [int(s[2:]) for s in supporting]
+        if arm in idxs or len(set(idxs)) != len(idxs):
+            return False
+        for j, chain in zip(idxs, chains):
+            if not 0 <= j < len(chans) or chans[j] is None:
+                return False
+            node = f"channel:{chans[j]}"
+            if not chain_ok(chain, ALWAYS) or chain[0] != node:
+                return False
+        return True
+    # starved-counterflow
+    if not block.is_early:
+        return False
+    if block.g_inputs is not None and not block.g_inputs[arm]:
+        return False
+    if avail.get(f"block:{block.name}", NEVER) == NEVER:
+        return False
+    if avail.get(f"channel:{chans[arm]}", NEVER) != NEVER:
+        return False
+    chain = w.get("chain")
+    return chain_ok(chain, NEVER) and chain[0] == f"channel:{chans[arm]}"
+
+
 def lint_spec(spec: SystemSpec) -> List[Finding]:
     """Run every spec-level rule.  Connectivity errors suppress the
     graph rules (a mis-wired graph produces nonsense cycles)."""
@@ -265,6 +544,8 @@ def lint_spec(spec: SystemSpec) -> List[Finding]:
     if not any(f.rule == "ELX001" for f in findings):
         findings += _spec_deadlocks(spec)
         findings += _spec_passive_use(spec)
+        findings += _dead_ee_arms(spec)
+        findings += _starved_counterflow(spec)
     return findings
 
 

@@ -72,6 +72,16 @@ RULES: Dict[str, Rule] = {
              "reduces to constants (Sect. 6 simplification)"),
         Rule("LNT007", "uninitialised state element", Severity.WARNING,
              "X-valued reset state is a structural X source"),
+        Rule("LNT008", "state bit can never leave X", Severity.WARNING,
+             "a state bit whose reachable-value set stays {X} after "
+             "reset is permanently unknown: no input assignment ever "
+             "resolves it (dataflow: value-set fixpoint over the "
+             "sequential abstraction)"),
+        Rule("LNT009", "uncovered reset is observable", Severity.WARNING,
+             "an X-initialised register that reaches a primary output "
+             "through combinational logic only is observable before "
+             "its first load: the environment sees X in cycle 0 "
+             "(dataflow: backward observability fixpoint)"),
         Rule("ELX001", "spec connectivity", Severity.ERROR,
              "every port connects exactly once with the declared role"),
         Rule("ELX002", "channel polarity", Severity.ERROR,
@@ -92,8 +102,38 @@ RULES: Dict[str, Rule] = {
         Rule("ELX007", "inert passive interface", Severity.INFO,
              "a passive anti-token interface without any early-evaluation "
              "join can never see an anti-token (Fig. 7(a))"),
+        Rule("ELX008", "dead early-evaluation arm", Severity.WARNING,
+             "a threshold guard met every cycle by the other, "
+             "persistently valid arms never depends on this arm: its "
+             "G-gate and pending logic are statically irrelevant "
+             "(Sect. 6 simplification, dataflow: token-availability "
+             "fixpoint)"),
+        Rule("ELX009", "counterflow never annihilates", Severity.WARNING,
+             "anti-tokens emitted into a channel where no token can "
+             "ever arrive never meet one and accumulate forever "
+             "(Sect. 4 counterflow; refines ELX006 beyond cycles, "
+             "dataflow: token-availability fixpoint)"),
     ]
 }
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A file/line/column anchor for findings on re-parsed designs.
+
+    Produced by the :mod:`repro.lint.frontends` parsers' source maps;
+    1-based line and column, SARIF-style.
+    """
+
+    file: str
+    line: int
+    column: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"file": self.file, "line": self.line, "column": self.column}
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.column}"
 
 
 @dataclass(frozen=True)
@@ -104,6 +144,14 @@ class Finding:
     the rule reports one; it participates in the fingerprint (a cycle
     through different nodes is a different finding) while ``message``
     does not (rewording a diagnostic must not invalidate baselines).
+
+    ``witness`` is an optional machine-checkable explanation produced
+    by the dataflow rules -- a JSON-native mapping (strings, ints,
+    lists, dicts only) that the test suite replays against the design.
+    ``location`` is an optional file anchor attached when the finding
+    came from a parsed BLIF/Verilog file.  Neither participates in the
+    fingerprint: a witness is derived evidence and a location is
+    presentation, so baselines survive both.
     """
 
     rule: str
@@ -111,6 +159,8 @@ class Finding:
     subject: str
     message: str
     path: Tuple[str, ...] = ()
+    witness: Optional[Dict[str, object]] = None
+    location: Optional[SourceLocation] = None
 
     def __post_init__(self) -> None:
         if self.rule not in RULES:
@@ -139,11 +189,16 @@ class Finding:
         }
         if self.path:
             d["path"] = list(self.path)
+        if self.witness is not None:
+            d["witness"] = self.witness
+        if self.location is not None:
+            d["location"] = self.location.to_dict()
         return d
 
     def __str__(self) -> str:
+        where = f" ({self.location})" if self.location else ""
         return (f"{self.severity.name:7s} {self.rule} "
-                f"[{self.target}] {self.subject}: {self.message}")
+                f"[{self.target}] {self.subject}{where}: {self.message}")
 
 
 class LintReport:
@@ -237,3 +292,31 @@ class LintReport:
                 },
             )
         return len(self.findings)
+
+
+def render_witness(witness: Dict[str, object]) -> List[str]:
+    """Human-readable lines for one finding's witness.
+
+    Renders the shared witness vocabulary of the dataflow rules:
+    ``path``/``chain`` keys become arrow chains, ``chains`` one chain
+    per line, ``inputs`` a value assignment; remaining scalar keys
+    print as ``key: value``.  The CLI's ``--explain`` and the tests
+    share this one renderer.
+    """
+    kind = witness.get("kind")
+    lines: List[str] = [f"witness ({kind}):" if kind else "witness:"]
+    for key in sorted(witness):
+        if key == "kind":
+            continue
+        value = witness[key]
+        if key in ("path", "chain") and isinstance(value, list):
+            lines.append(f"  {key}: " + " -> ".join(map(str, value)))
+        elif key == "chains" and isinstance(value, list):
+            for item in value:
+                lines.append("  chain: " + " -> ".join(map(str, item)))
+        elif key == "inputs" and isinstance(value, dict):
+            assign = ", ".join(f"{n}={value[n]}" for n in sorted(value))
+            lines.append(f"  inputs: {assign}")
+        else:
+            lines.append(f"  {key}: {value}")
+    return lines

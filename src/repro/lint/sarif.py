@@ -6,7 +6,11 @@ Subjects are logical locations (nets, channels, controllers) rather
 than files -- the analyzer works on in-memory designs -- and each
 result carries the baseline fingerprint under ``partialFingerprints``
 so SARIF consumers dedupe across runs exactly like the native
-baseline file does.
+baseline file does.  Findings that came through a re-parse front-end
+(``repro lint --file design.blif``) additionally carry a
+``physicalLocation`` with the file/line/column the source map
+anchored their subject to, so SARIF viewers jump straight to the
+defining line of the exported HDL.
 
 The output is deterministic: rules and findings are sorted, and the
 JSON dump is key-sorted with a trailing newline, byte-identical across
@@ -43,21 +47,28 @@ def to_sarif(report: LintReport) -> Dict[str, object]:
     ]
     results: List[Dict[str, object]] = []
     for f in report.findings:
+        location: Dict[str, object] = {
+            "logicalLocations": [
+                {
+                    "name": f.subject,
+                    "fullyQualifiedName": f"{f.target}::{f.subject}",
+                }
+            ]
+        }
+        if f.location is not None:
+            location["physicalLocation"] = {
+                "artifactLocation": {"uri": f.location.file},
+                "region": {
+                    "startLine": f.location.line,
+                    "startColumn": f.location.column,
+                },
+            }
         result: Dict[str, object] = {
             "ruleId": f.rule,
             "ruleIndex": index[f.rule],
             "level": f.severity.sarif_level,
             "message": {"text": f.message},
-            "locations": [
-                {
-                    "logicalLocations": [
-                        {
-                            "name": f.subject,
-                            "fullyQualifiedName": f"{f.target}::{f.subject}",
-                        }
-                    ]
-                }
-            ],
+            "locations": [location],
             "partialFingerprints": {"reproLint/v1": f.fingerprint},
         }
         if f.path:

@@ -11,7 +11,13 @@ registry spans all three front-ends:
   (Fig. 5-7 + the variable-latency interface);
 * ``processor`` -- the hand-built Sect. 7 elastic processor network;
 * ``zoo:<defect>`` -- intentionally broken designs kept as negative
-  smoke targets (CI asserts they exit nonzero).
+  smoke targets (CI asserts the expected rule fires on each: exit codes
+  for the ERROR-severity defects, JSON report checks for the
+  WARNING-severity dataflow ones).
+
+:func:`lint_file` is the fourth entry point: it re-parses an exported
+``.blif``/``.v`` file (:mod:`repro.lint.frontends`) and lints the
+reconstructed netlist with findings anchored to file/line/column.
 
 Builders are lazy: nothing is elaborated until a target is linted.
 
@@ -42,12 +48,14 @@ __all__ = [
     "LINT_RULES_VERSION",
     "LINT_TARGETS",
     "all_targets",
+    "lint_file",
     "run_lint",
 ]
 
 #: Bump when any ``LNT0xx`` rule changes behaviour; cached findings for
 #: every netlist are invalidated (their cache key changes).
-LINT_RULES_VERSION = 1
+#: 2: dataflow engine, LNT008/LNT009, witnesses on LNT006 findings.
+LINT_RULES_VERSION = 2
 
 
 def _lint_key(netlist) -> str:
@@ -63,12 +71,16 @@ def _lint_key(netlist) -> str:
 
 
 def _finding_from_dict(d: Dict[str, object]) -> Finding:
+    # Locations are deliberately NOT restored: cached findings describe
+    # the in-memory netlist; file anchors are re-attached per parsed
+    # file by ``lint_file`` after the cache round-trip.
     return Finding(
         rule=d["rule"],
         target=d["target"],
         subject=d["subject"],
         message=d["message"],
         path=tuple(d.get("path", ())),
+        witness=d.get("witness"),
     )
 
 
@@ -165,6 +177,65 @@ def _zoo_comb_cycle(cache=None) -> List[Finding]:
     return _cached_lint_netlist(nl, cache)
 
 
+def _zoo_x_stuck(cache=None) -> List[Finding]:
+    """An X-initialised flop recirculating itself: stuck at X (LNT008)."""
+    from repro.rtl.logic import X
+    from repro.rtl.netlist import Netlist
+
+    nl = Netlist("zoo[x_stuck]")
+    a = nl.add_input("a")
+    nl.BUF("q", out="d")  # hold loop: the reset X recirculates forever
+    nl.add_flop("d", q="q", init=X)
+    nl.AND(a, "q", out="o")
+    nl.add_output("o")
+    return _cached_lint_netlist(nl, cache)
+
+
+def _zoo_x_observable(cache=None) -> List[Finding]:
+    """An X-initialised flop visible at an output before any load (LNT009)."""
+    from repro.rtl.logic import X
+    from repro.rtl.netlist import Netlist
+
+    nl = Netlist("zoo[x_observable]")
+    a = nl.add_input("a")
+    nl.add_flop(a, q="q", init=X)  # leaves X after one load...
+    nl.BUF("q", out="o")  # ...but the environment sees the X first
+    nl.add_output("o")
+    return _cached_lint_netlist(nl, cache)
+
+
+def _zoo_dead_ee_arm(cache=None) -> List[Finding]:
+    """A 1-of-2 threshold join where either arm alone is enough (ELX008)."""
+    from repro.elastic.ee import ThresholdEE
+    from repro.synthesis.spec import SystemSpec
+
+    spec = SystemSpec("zoo[dead_ee_arm]")
+    spec.add_source("A")
+    spec.add_source("B")
+    spec.add_sink("Z")
+    spec.add_block("OR1", n_inputs=2, ee=ThresholdEE(1, 2))
+    spec.connect(spec.source("A"), spec.block_in("OR1", 0))
+    spec.connect(spec.source("B"), spec.block_in("OR1", 1))
+    spec.connect(spec.block_out("OR1", 0), spec.sink("Z"))
+    return lint_spec(spec)
+
+
+def _zoo_starved_counterflow(cache=None) -> List[Finding]:
+    """Anti-tokens into a channel no token can ever reach (ELX009)."""
+    from repro.elastic.ee import ThresholdEE
+    from repro.synthesis.spec import SystemSpec
+
+    spec = SystemSpec("zoo[starved_counterflow]")
+    spec.add_source("A")
+    spec.add_source("DEAD", p_valid=0.0)
+    spec.add_sink("Z")
+    spec.add_block("EJ", n_inputs=2, ee=ThresholdEE(1, 2))
+    spec.connect(spec.source("A"), spec.block_in("EJ", 0))
+    spec.connect(spec.source("DEAD"), spec.block_in("EJ", 1))
+    spec.connect(spec.block_out("EJ", 0), spec.sink("Z"))
+    return lint_spec(spec)
+
+
 LINT_TARGETS: Dict[str, Callable[..., List[Finding]]] = {
     "fig9:active": _fig9("ACTIVE"),
     "fig9:no_buffer": _fig9("NO_BUFFER"),
@@ -184,6 +255,10 @@ LINT_TARGETS: Dict[str, Callable[..., List[Finding]]] = {
     "processor": _processor,
     "zoo:capacity1": _zoo_capacity1,
     "zoo:comb_cycle": _zoo_comb_cycle,
+    "zoo:x_stuck": _zoo_x_stuck,
+    "zoo:x_observable": _zoo_x_observable,
+    "zoo:dead_ee_arm": _zoo_dead_ee_arm,
+    "zoo:starved_counterflow": _zoo_starved_counterflow,
 }
 
 
@@ -193,6 +268,24 @@ def all_targets(include_zoo: bool = False) -> List[str]:
         name for name in sorted(LINT_TARGETS)
         if include_zoo or not name.startswith("zoo:")
     ]
+
+
+def lint_file(path: str, cache=None) -> List[Finding]:
+    """Parse one BLIF/Verilog file and lint the reconstructed netlist.
+
+    The ``LNT0xx`` rules run through the same fingerprint-keyed findings
+    cache as the registry targets (a re-parsed export of an unchanged
+    design hits the same artifact), then every finding is anchored to
+    the parsed file via the source map, so SARIF output carries
+    ``physicalLocation`` entries.  Raises
+    :class:`~repro.lint.frontends.FrontendParseError` on malformed
+    input.
+    """
+    from repro.lint.frontends import attach_locations, parse_design_file
+
+    design = parse_design_file(path)
+    findings = _cached_lint_netlist(design.netlist, cache)
+    return attach_locations(findings, design.source_map)
 
 
 def run_lint(targets: Sequence[str], cache=None) -> LintReport:

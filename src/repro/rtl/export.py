@@ -15,10 +15,20 @@ Netlist` so the controllers built here can be taken to external tools:
 
 The writers are deliberately simple and deterministic (sorted cell
 order) so their output is diff-stable and easy to test.
+
+The Verilog and BLIF writers append a *source-map* comment block
+(``repro.sourcemap 1``) after the body: the original netlist name, the
+ident-to-raw-name table, every cell in netlist insertion order with its
+exact gate op, and (Verilog only, which cannot express them) the
+X-initialised state bits.  The :mod:`repro.lint.frontends` parsers use
+the block to reconstruct a netlist whose fingerprint matches the
+exported one bit-for-bit; foreign files without the block still parse,
+just without guaranteed fingerprint equality.
 """
 
 from __future__ import annotations
 
+import json
 import re
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -52,6 +62,48 @@ def _name_map(netlist: Netlist) -> Dict[str, str]:
     return mapping
 
 
+def _sourcemap_lines(
+    netlist: Netlist,
+    nm: Mapping[str, str],
+    prefix: str,
+    xinit: bool = False,
+) -> List[str]:
+    """The ``repro.sourcemap 1`` comment block shared by both writers.
+
+    ``.sig`` lines map emitted identifiers back to raw signal names
+    (only where they differ); ``.cell`` lines record every gate (with
+    its exact op -- several ops share a BLIF cover), latch and flop in
+    netlist *insertion* order, which the writers' sorted bodies lose
+    but the fingerprint preserves; ``.xinit`` lines (Verilog) mark the
+    state bits whose X reset value the HDL cannot express.
+    """
+    lines = [
+        f"{prefix} repro.sourcemap 1",
+        f"{prefix} .netlist {json.dumps(netlist.name)}",
+    ]
+    for sig in sorted(netlist.signals(), key=lambda s: nm[s]):
+        if nm[sig] != sig:
+            lines.append(f"{prefix} .sig {nm[sig]} {json.dumps(sig)}")
+    for out, gate in netlist.gates.items():
+        lines.append(f"{prefix} .cell gate {gate.op} {json.dumps(out)}")
+    for q in netlist.latches:
+        lines.append(f"{prefix} .cell latch {json.dumps(q)}")
+    for q in netlist.flops:
+        lines.append(f"{prefix} .cell flop {json.dumps(q)}")
+    if xinit:
+        # Verilog-only repairs: the port list cannot re-declare an input
+        # as an output (the raw output list is recorded instead) and the
+        # HDL has no X reset value.
+        lines.append(f"{prefix} .outputs {json.dumps(list(netlist.outputs))}")
+        for q, latch in netlist.latches.items():
+            if latch.init is X:
+                lines.append(f"{prefix} .xinit {json.dumps(q)}")
+        for q, flop in netlist.flops.items():
+            if flop.init is X:
+                lines.append(f"{prefix} .xinit {json.dumps(q)}")
+    return lines
+
+
 # ----------------------------------------------------------------------
 # Verilog
 # ----------------------------------------------------------------------
@@ -66,6 +118,10 @@ _VERILOG_OPS = {
 def _verilog_expr(gate: Gate, nm: Mapping[str, str]) -> str:
     ins = [nm[i] for i in gate.ins]
     op = gate.op
+    if not ins and op in ("AND", "OR", "NAND", "NOR"):
+        # empty variadic gates are constants: AND()=1, OR()=0, and the
+        # inverting forms flip (matches the ternary land()/lor() bases)
+        return "1'b1" if op in ("AND", "NOR") else "1'b0"
     if op in ("AND", "OR"):
         return _VERILOG_OPS[op].join(ins)
     if op in ("NAND", "NOR"):
@@ -133,6 +189,7 @@ def to_verilog(netlist: Netlist, module: Optional[str] = None) -> str:
             )
         lines.append("  end")
     lines.append("endmodule")
+    lines.extend(_sourcemap_lines(netlist, nm, "//", xinit=True))
     return "\n".join(lines) + "\n"
 
 
@@ -195,6 +252,7 @@ def to_blif(netlist: Netlist, model: Optional[str] = None) -> str:
         lines.append(header)
         lines.extend(_blif_cover(gate, nm))
     lines.append(".end")
+    lines.extend(_sourcemap_lines(netlist, nm, "#"))
     return "\n".join(lines) + "\n"
 
 

@@ -70,6 +70,21 @@ def canonical_cycle(cycle: List[str]) -> List[str]:
     return cycle[pivot:] + cycle[:pivot]
 
 
+def canonical_nodes(
+    nodes: Dict[str, Tuple[str, ...]],
+) -> Dict[str, Tuple[str, ...]]:
+    """The same dependency graph with sorted keys and sorted fan-in.
+
+    :func:`order_or_cycle` walks roots and dependencies in the order
+    given, so *which* cycle it extracts from a multi-cycle graph depends
+    on dict insertion order.  Hunting over the canonicalised graph makes
+    the reported cycle a function of the graph alone -- LNT005 findings
+    and :class:`CombinationalCycleError` diagnostics stay byte-stable
+    across construction-order changes.
+    """
+    return {sig: tuple(sorted(nodes[sig])) for sig in sorted(nodes)}
+
+
 def phase_nodes(netlist: Netlist, phase: Phase) -> Dict[str, Tuple[str, ...]]:
     """The combinational nodes of one phase and their raw fan-in.
 
@@ -142,8 +157,14 @@ def topo_order(netlist: Netlist, phase: Phase) -> List[str]:
     fan-in.  Raises :class:`CombinationalCycleError` (with the full
     path) when the phase has a combinational cycle.
     """
-    order, cycle = order_or_cycle(phase_nodes(netlist, phase))
+    nodes = phase_nodes(netlist, phase)
+    order, cycle = order_or_cycle(nodes)
     if cycle is not None:
+        # Re-hunt over the canonical graph so the reported cycle does
+        # not depend on netlist construction order.  Only the error path
+        # pays for this; the happy-path order is untouched (the compiled
+        # simulator's instruction stream keys on it).
+        _, cycle = order_or_cycle(canonical_nodes(nodes))
         raise CombinationalCycleError.from_cycle(cycle)
     return order
 

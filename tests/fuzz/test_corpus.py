@@ -24,7 +24,7 @@ def _entry(name="case0", mutation="broken-early-join"):
                "seed": 5}
     return CorpusEntry(name=name, seed=5, finding=finding,
                        model=model.to_dict(), shrunk=model.to_dict(),
-                       mutation=mutation)
+                       mutation=mutation, rules_hit=["ELX006", "ELX001"])
 
 
 class TestRoundTrip:
@@ -39,9 +39,30 @@ class TestRoundTrip:
         assert d["blocks_before"] == len(d["model"]["blocks"])
         assert d["blocks_after"] == len(d["shrunk"]["blocks"])
 
+    def test_to_dict_sorts_rules_hit(self):
+        assert _entry().to_dict()["rules_hit"] == ["ELX001", "ELX006"]
+
+    def test_rules_hit_survives_round_trip(self):
+        clone = CorpusEntry.from_dict(json.loads(_entry().to_json()))
+        assert clone.rules_hit == ["ELX001", "ELX006"]
+
+    def test_legacy_entry_without_rules_hit_loads(self):
+        data = _entry().to_dict()
+        del data["rules_hit"]
+        assert CorpusEntry.from_dict(data).rules_hit == []
+
     def test_json_is_byte_stable(self):
         assert _entry().to_json() == _entry().to_json()
         assert _entry().to_json().endswith("\n")
+
+    def test_runner_populates_rules_hit_deterministically(self):
+        from repro.fuzz.runner import _rules_hit
+
+        model = generate_model(random.Random("corpus:2"),
+                               GeneratorConfig(max_blocks=8), name="rh")
+        hits = _rules_hit(model)
+        assert hits == sorted(set(hits))
+        assert hits == _rules_hit(model)
 
 
 class TestSaveLoad:

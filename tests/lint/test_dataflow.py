@@ -1,0 +1,195 @@
+"""The worklist fixpoint engine and its layer adapters."""
+
+import pytest
+
+from repro.lint.dataflow import (
+    FixpointDivergence,
+    FixpointResult,
+    dmg_graph,
+    fixpoint,
+    netlist_graph,
+    spec_graph,
+    spec_in_channels,
+)
+from repro.rtl.logic import X
+from repro.rtl.netlist import Netlist, Phase
+
+
+def diamond():
+    # a feeds b and c, both feed d
+    return {"a": (), "b": ("a",), "c": ("a",), "d": ("b", "c")}
+
+
+# ----------------------------------------------------------------------
+# Core solver
+# ----------------------------------------------------------------------
+class TestFixpoint:
+    def test_forward_reachability(self):
+        result = fixpoint(
+            diamond(),
+            transfer=lambda n, get: n == "a" or any(
+                get(i) for i in diamond()[n]
+            ),
+            init=lambda n: False,
+            join=lambda old, new: old or new,
+        )
+        assert result.values == {"a": True, "b": True, "c": True, "d": True}
+
+    def test_backward_liveness(self):
+        # only d is observable; everything reaching it becomes live
+        graph = diamond()
+        succs = {
+            n: [m for m, ins in graph.items() if n in ins] for n in graph
+        }
+        result = fixpoint(
+            graph,
+            transfer=lambda n, get: n == "d" or any(
+                get(s) for s in succs[n]
+            ),
+            init=lambda n: n == "d",
+            direction="backward",
+            join=lambda old, new: old or new,
+        )
+        # backward: b and c feed d, a feeds both
+        assert all(result.values.values())
+
+    def test_longest_path_without_join_replaces(self):
+        graph = {"a": (), "b": ("a",), "c": ("b",)}
+        result = fixpoint(
+            graph,
+            transfer=lambda n, get: max(
+                [get(i) + 1 for i in graph[n]], default=0
+            ),
+            init=lambda n: 0,
+        )
+        assert result.values == {"a": 0, "b": 1, "c": 2}
+
+    def test_order_is_sorted_names(self):
+        result = fixpoint(
+            {"z": (), "a": ("z",), "m": ("a",)},
+            transfer=lambda n, get: 0,
+            init=lambda n: 0,
+        )
+        assert result.order == ("a", "m", "z")
+
+    def test_insertion_order_does_not_change_result(self):
+        base = {"a": (), "b": ("a",), "c": ("a", "b"), "d": ("c", "b")}
+        permuted = {k: base[k] for k in ("d", "b", "c", "a")}
+
+        def run(graph):
+            return fixpoint(
+                graph,
+                transfer=lambda n, get: (
+                    1 if not graph[n] else min(get(i) for i in graph[n]) + 1
+                ),
+                init=lambda n: 0,
+                join=max,
+            )
+
+        first, second = run(base), run(permuted)
+        assert first.values == second.values
+        assert first.order == second.order
+        assert first.evaluations == second.evaluations
+
+    def test_cycle_converges_with_join(self):
+        graph = {"a": ("b",), "b": ("a",), "seed": ()}
+        result = fixpoint(
+            {"a": ("b", "seed"), "b": ("a",), "seed": ()},
+            transfer=lambda n, get: (
+                1 if n == "seed" else max(
+                    [get(i) for i in graph.get(n, ()) + (("seed",) if n == "a" else ())],
+                    default=0,
+                )
+            ),
+            init=lambda n: 0,
+            join=max,
+        )
+        assert result.values["a"] == 1
+        assert result.values["b"] == 1
+
+    def test_divergent_transfer_raises(self):
+        with pytest.raises(FixpointDivergence, match="changed more than"):
+            fixpoint(
+                {"a": ("a",)},
+                transfer=lambda n, get: get("a") + 1,  # never stabilises
+                init=lambda n: 0,
+            )
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError, match="forward/backward"):
+            fixpoint({}, lambda n, g: 0, lambda n: 0, direction="sideways")
+
+    def test_foreign_edges_are_dropped(self):
+        # b depends on a name outside the graph: transfer never sees it
+        result = fixpoint(
+            {"b": ("ghost",)},
+            transfer=lambda n, get: 7,
+            init=lambda n: 0,
+        )
+        assert result.values == {"b": 7}
+
+    def test_result_indexing(self):
+        result = fixpoint({"a": ()}, lambda n, g: 3, lambda n: 0)
+        assert isinstance(result, FixpointResult)
+        assert result["a"] == 3
+
+
+# ----------------------------------------------------------------------
+# Adapters
+# ----------------------------------------------------------------------
+class TestNetlistGraph:
+    def make(self):
+        nl = Netlist("g")
+        a = nl.add_input("a")
+        nl.NOT(a, out="na")
+        nl.add_flop("na", q="q", init=0)
+        nl.add_latch("q", Phase.HIGH, q="l", init=X)
+        nl.add_output("l")
+        return nl
+
+    def test_state_edges_on(self):
+        g = netlist_graph(self.make())
+        assert g["q"] == ("na",)
+        assert g["l"] == ("q",)
+        assert g["na"] == ("a",)
+        assert g["a"] == ()
+
+    def test_state_edges_off(self):
+        g = netlist_graph(self.make(), state_edges=False)
+        assert g["q"] == ()
+        assert g["l"] == ()
+        assert g["na"] == ("a",)
+
+
+class TestSpecGraph:
+    def make(self):
+        from repro.synthesis.spec import SystemSpec
+
+        spec = SystemSpec("s")
+        spec.add_source("A")
+        spec.add_sink("Z")
+        spec.add_block("B", n_inputs=1)
+        spec.connect(spec.source("A"), spec.block_in("B", 0), name="ab")
+        spec.connect(spec.block_out("B", 0), spec.sink("Z"), name="bz")
+        return spec
+
+    def test_nodes_and_edges(self):
+        g = spec_graph(self.make())
+        assert g["channel:ab"] == ("source:A",)
+        assert g["block:B"] == ("channel:ab",)
+        assert g["sink:Z"] == ("channel:bz",)
+
+    def test_in_channels_by_port(self):
+        arms = spec_in_channels(self.make())
+        assert arms == {"B": ["ab"]}
+
+
+class TestDmgGraph:
+    def test_arcs_become_dependencies(self):
+        from repro.core.dmg import fig1_dmg
+
+        graph = fig1_dmg()
+        deps = dmg_graph(graph)
+        assert set(deps) == {n for n in graph.nodes}
+        for arc in graph.arcs:
+            assert arc.src in deps[arc.dst]

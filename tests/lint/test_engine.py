@@ -36,9 +36,9 @@ def sample_report():
 def test_catalog_is_stable():
     assert sorted(RULES) == [
         "ELX001", "ELX002", "ELX003", "ELX004", "ELX005", "ELX006",
-        "ELX007",
+        "ELX007", "ELX008", "ELX009",
         "LNT001", "LNT002", "LNT003", "LNT004", "LNT005", "LNT006",
-        "LNT007",
+        "LNT007", "LNT008", "LNT009",
     ]
 
 

@@ -24,6 +24,25 @@ def test_zoo_fixture_is_flagged(target, expected_rule):
     assert not report.clean
 
 
+@pytest.mark.parametrize(
+    "target, expected_rule",
+    [
+        ("zoo:x_stuck", "LNT008"),
+        ("zoo:x_observable", "LNT009"),
+        ("zoo:dead_ee_arm", "ELX008"),
+        ("zoo:starved_counterflow", "ELX009"),
+    ],
+)
+def test_dataflow_zoo_fixture_warns(target, expected_rule):
+    """The dataflow defects are WARNINGs (report stays 'clean' in the
+    exit-code sense) but the named rule must fire with a witness."""
+    report = run_lint([target])
+    hits = [f for f in report.findings if f.rule == expected_rule]
+    assert hits
+    assert all(f.witness for f in hits)
+    assert not report.errors()
+
+
 def test_default_target_set_excludes_the_zoo():
     defaults = all_targets()
     assert defaults == sorted(defaults)

@@ -61,8 +61,12 @@ class TestVerilog:
     def test_module_structure(self, small):
         v = to_verilog(small)
         assert v.startswith("module small_ctrl (")
-        assert v.rstrip().endswith("endmodule")
+        assert "\nendmodule\n" in v
         assert "input clk, rst;" in v
+        # only source-map comments may follow the module body
+        trailer = v.split("\nendmodule\n", 1)[1]
+        assert all(l.startswith("//") for l in trailer.splitlines() if l)
+        assert "// repro.sourcemap 1" in trailer
 
     def test_all_cells_emitted(self, small):
         v = to_verilog(small)

@@ -130,6 +130,18 @@ def _scalar_overrides(inj, time):
 
 
 @st.composite
+def random_netlists(draw):
+    """Random gate/latch netlists over the backend-suite distribution.
+
+    One drawn seed determines the whole netlist (shrink-friendly,
+    replayable); the re-parse front-end suite round-trips these through
+    the BLIF/Verilog exporters.
+    """
+    seed = draw(st.integers(0, 2**32 - 1))
+    return build_random_netlist(random.Random(seed))
+
+
+@st.composite
 def differential_cases(draw, lanes: int = LANES, cycles: int = CYCLES):
     """(netlist, per-lane stimulus, per-lane injections) triples.
 

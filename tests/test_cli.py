@@ -302,6 +302,87 @@ class TestLint:
         out = capsys.readouterr().out
         assert "suppressed" in out
 
+    def test_explain_prints_catalog_entry(self, capsys):
+        assert main(["lint", "--explain", "LNT008"]) == 0
+        out = capsys.readouterr().out
+        assert "LNT008 [WARNING]" in out
+        assert "state bit can never leave X" in out
+
+    def test_explain_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["lint", "--explain", "LNT999"])
+
+    def test_explain_with_target_renders_witnesses(self, capsys):
+        assert main(["lint", "--explain", "ELX009",
+                     "zoo:starved_counterflow"]) == 0
+        out = capsys.readouterr().out
+        assert "1 finding(s) for ELX009" in out
+        assert "witness (starved-counterflow)" in out
+        assert "channel:DEAD->EJ -> source:DEAD" in out
+
+    def test_explain_exits_zero_even_on_errors(self, capsys):
+        assert main(["lint", "--explain", "LNT005", "zoo:comb_cycle"]) == 0
+        out = capsys.readouterr().out
+        assert "1 finding(s) for LNT005" in out
+
+    def _write_defective_blif(self, tmp_path):
+        from repro.rtl.export import to_blif
+        from repro.rtl.logic import X
+        from repro.rtl.netlist import Netlist
+
+        nl = Netlist("xdemo")
+        a = nl.add_input("a")
+        nl.BUF("q", out="d")
+        nl.add_flop("d", q="q", init=X)
+        nl.AND(a, "q", out="o")
+        nl.add_output("o")
+        path = tmp_path / "xdemo.blif"
+        path.write_text(to_blif(nl))
+        return path
+
+    def test_file_target_reports_located_findings(self, tmp_path, capsys):
+        path = self._write_defective_blif(tmp_path)
+        sarif_path = tmp_path / "file.sarif"
+        assert main(["lint", "--file", str(path),
+                     "--sarif", str(sarif_path)]) == 0  # warnings only
+        out = capsys.readouterr().out
+        assert "LNT008" in out
+        assert "xdemo.blif:" in out  # findings carry file:line:column
+        import json as jsonlib
+        sarif = jsonlib.loads(sarif_path.read_text())
+        for result in sarif["runs"][0]["results"]:
+            physical = result["locations"][0]["physicalLocation"]
+            assert physical["artifactLocation"]["uri"].endswith("xdemo.blif")
+            assert physical["region"]["startLine"] >= 1
+
+    def test_file_mixes_with_named_targets(self, tmp_path, capsys):
+        path = self._write_defective_blif(tmp_path)
+        assert main(["lint", "rtl:join", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "LNT008" in out
+
+    def test_file_baseline_suppresses(self, tmp_path, capsys):
+        path = self._write_defective_blif(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--file", str(path),
+                     "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--file", str(path),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+
+    def test_malformed_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model bad\n.inputs a\n.outputs y\n"
+                       ".names a y\n.end\n")
+        with pytest.raises(SystemExit, match="truncated .names cover"):
+            main(["lint", "--file", str(bad)])
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="ghost.blif"):
+            main(["lint", "--file", str(tmp_path / "ghost.blif")])
+
     def test_inject_degradation_flag(self, tmp_path, capsys):
         report = tmp_path / "r.json"
         assert main(["inject", "--netlist", "dual_ehb", "--cycles", "120",
